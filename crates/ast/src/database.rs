@@ -1,0 +1,255 @@
+//! Databases: finite sets of ground atoms, organised per predicate.
+//!
+//! The paper views "a collection of relations … as a single set consisting of
+//! all the ground atoms of these relations" (§III). [`Database`] is that set,
+//! bucketed by predicate for efficient joins.
+
+use crate::atom::GroundAtom;
+use crate::symbol::Pred;
+use crate::term::Const;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A tuple of constants — one row of a relation.
+pub type Tuple = Box<[Const]>;
+
+/// A finite set of ground atoms (an *interpretation* or *structure*, §III).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<Pred, BTreeSet<Tuple>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Build a database from ground atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = GroundAtom>) -> Database {
+        let mut db = Database::new();
+        for a in atoms {
+            db.insert(a);
+        }
+        db
+    }
+
+    /// Insert a ground atom; returns `true` if it was new.
+    pub fn insert(&mut self, atom: GroundAtom) -> bool {
+        self.relations.entry(atom.pred).or_default().insert(atom.tuple)
+    }
+
+    /// Insert a raw tuple under `pred`; returns `true` if it was new.
+    pub fn insert_tuple(&mut self, pred: Pred, tuple: Tuple) -> bool {
+        self.relations.entry(pred).or_default().insert(tuple)
+    }
+
+    /// Remove a ground atom; returns `true` if it was present.
+    pub fn remove(&mut self, atom: &GroundAtom) -> bool {
+        self.relations.get_mut(&atom.pred).is_some_and(|rel| rel.remove(&atom.tuple))
+    }
+
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.relations.get(&atom.pred).is_some_and(|rel| rel.contains(&atom.tuple))
+    }
+
+    pub fn contains_tuple(&self, pred: Pred, tuple: &[Const]) -> bool {
+        self.relations.get(&pred).is_some_and(|rel| rel.contains(tuple))
+    }
+
+    /// The relation for `pred` (empty if absent).
+    pub fn relation(&self, pred: Pred) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(&pred).into_iter().flatten()
+    }
+
+    /// Number of tuples in the relation for `pred`.
+    pub fn relation_len(&self, pred: Pred) -> usize {
+        self.relations.get(&pred).map_or(0, BTreeSet::len)
+    }
+
+    /// Predicates with at least one tuple.
+    pub fn predicates(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.relations.iter().filter(|(_, r)| !r.is_empty()).map(|(&p, _)| p)
+    }
+
+    /// Total number of ground atoms.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(BTreeSet::is_empty)
+    }
+
+    /// Iterate all ground atoms.
+    pub fn iter(&self) -> impl Iterator<Item = GroundAtom> + '_ {
+        self.relations.iter().flat_map(|(&pred, rel)| {
+            rel.iter().map(move |t| GroundAtom { pred, tuple: t.clone() })
+        })
+    }
+
+    /// Set-union with another database (the `⟨d1, d2⟩` of §III); returns the
+    /// number of new atoms added.
+    pub fn union_with(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (&pred, rel) in &other.relations {
+            match self.relations.entry(pred) {
+                Entry::Vacant(e) => {
+                    added += rel.len();
+                    e.insert(rel.clone());
+                }
+                Entry::Occupied(mut e) => {
+                    for t in rel {
+                        if e.get_mut().insert(t.clone()) {
+                            added += 1;
+                        }
+                    }
+                }
+            }
+        }
+        added
+    }
+
+    /// Subset test: every ground atom of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.relations.iter().all(|(pred, rel)| match other.relations.get(pred) {
+            Some(orel) => rel.is_subset(orel),
+            None => rel.is_empty(),
+        })
+    }
+
+    /// Restrict to the given predicates (e.g. projecting out the IDB part).
+    pub fn restrict_to(&self, preds: &BTreeSet<Pred>) -> Database {
+        Database {
+            relations: self
+                .relations
+                .iter()
+                .filter(|(p, _)| preds.contains(p))
+                .map(|(&p, r)| (p, r.clone()))
+                .collect(),
+        }
+    }
+
+    /// All constants appearing anywhere in the database — the *active
+    /// domain*. Used by brute-force model enumeration in tests.
+    pub fn active_domain(&self) -> BTreeSet<Const> {
+        self.relations.values().flatten().flat_map(|t| t.iter().copied()).collect()
+    }
+
+    /// True if some tuple contains a labelled null (relevant after an
+    /// embedded-tgd chase, §VIII).
+    pub fn has_nulls(&self) -> bool {
+        self.relations.values().flatten().any(|t| t.iter().any(Const::is_null))
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<GroundAtom> for Database {
+    fn from_iter<T: IntoIterator<Item = GroundAtom>>(iter: T) -> Database {
+        Database::from_atoms(iter)
+    }
+}
+
+impl Extend<GroundAtom> for Database {
+    fn extend<T: IntoIterator<Item = GroundAtom>>(&mut self, iter: T) {
+        for a in iter {
+            self.insert(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::fact;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut db = Database::new();
+        assert!(db.insert(fact("a", [1, 2])));
+        assert!(!db.insert(fact("a", [1, 2])), "duplicate insert reports false");
+        assert!(db.contains(&fact("a", [1, 2])));
+        assert!(!db.contains(&fact("a", [2, 1])));
+        assert!(!db.contains(&fact("b", [1, 2])));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn remove_atoms() {
+        let mut db = Database::from_atoms([fact("a", [1, 2]), fact("a", [3, 4])]);
+        assert!(db.remove(&fact("a", [1, 2])));
+        assert!(!db.remove(&fact("a", [1, 2])), "double remove reports false");
+        assert!(!db.remove(&fact("b", [1])), "unknown predicate");
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(&fact("a", [3, 4])));
+    }
+
+    #[test]
+    fn union_counts_new_atoms() {
+        let mut d1 = Database::from_atoms([fact("a", [1]), fact("a", [2])]);
+        let d2 = Database::from_atoms([fact("a", [2]), fact("b", [3])]);
+        let added = d1.union_with(&d2);
+        assert_eq!(added, 1 + 1 - 1); // a(2) already present
+        assert_eq!(d1.len(), 3);
+    }
+
+    #[test]
+    fn subset() {
+        let small = Database::from_atoms([fact("a", [1])]);
+        let big = Database::from_atoms([fact("a", [1]), fact("a", [2])]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(Database::new().is_subset_of(&small));
+    }
+
+    #[test]
+    fn restrict_and_domain() {
+        let db = Database::from_atoms([fact("a", [1, 2]), fact("g", [2, 3])]);
+        let only_a = db.restrict_to(&BTreeSet::from([Pred::new("a")]));
+        assert_eq!(only_a.len(), 1);
+        assert_eq!(
+            db.active_domain(),
+            BTreeSet::from([Const::Int(1), Const::Int(2), Const::Int(3)])
+        );
+    }
+
+    #[test]
+    fn example2_database_display() {
+        // §III Example 2's EDB.
+        let db = Database::from_atoms([fact("A", [1, 2]), fact("A", [1, 4]), fact("A", [4, 1])]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.relation_len(Pred::new("A")), 3);
+        let s = db.to_string();
+        assert!(s.contains("A(1, 2)"));
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let db = Database::from_atoms([fact("b", [2]), fact("a", [9]), fact("a", [1])]);
+        let atoms: Vec<String> = db.iter().map(|a| a.to_string()).collect();
+        let again: Vec<String> = db.iter().map(|a| a.to_string()).collect();
+        assert_eq!(atoms, again);
+        // BTree ordering: per-predicate buckets sorted by symbol id is stable;
+        // within a predicate, tuples sort ascending.
+        let a_rows: Vec<&String> = atoms.iter().filter(|s| s.starts_with("a(")).collect();
+        assert_eq!(a_rows, vec!["a(1)", "a(9)"]);
+    }
+}

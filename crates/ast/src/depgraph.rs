@@ -1,0 +1,320 @@
+//! Dependence graph, recursion analysis, and stratification (§III).
+//!
+//! The dependence graph has a node per predicate and an edge `Q → R` whenever
+//! `Q` occurs in the body of a rule whose head is `R`. A program is recursive
+//! if the graph has a cycle; a predicate is recursive if it lies on a cycle;
+//! a rule is recursive if a cycle passes through its head predicate and a
+//! predicate of its body.
+//!
+//! Stratification (for the §XII negation extension) additionally labels edges
+//! through negated literals and requires that no cycle contains a negative
+//! edge.
+
+use crate::program::Program;
+use crate::symbol::Pred;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The dependence graph of a program.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    /// `edges[&q]` = predicates reachable from body-predicate `q` in one rule
+    /// (i.e. heads of rules whose body mentions `q`).
+    edges: BTreeMap<Pred, BTreeSet<Pred>>,
+    /// Edges that pass through a negated literal.
+    negative_edges: BTreeSet<(Pred, Pred)>,
+    preds: Vec<Pred>,
+}
+
+impl DepGraph {
+    pub fn new(program: &Program) -> DepGraph {
+        let mut edges: BTreeMap<Pred, BTreeSet<Pred>> = BTreeMap::new();
+        let mut negative_edges = BTreeSet::new();
+        let mut preds: BTreeSet<Pred> = BTreeSet::new();
+        for rule in &program.rules {
+            preds.insert(rule.head.pred);
+            for lit in &rule.body {
+                preds.insert(lit.atom.pred);
+                edges.entry(lit.atom.pred).or_default().insert(rule.head.pred);
+                if lit.negated {
+                    negative_edges.insert((lit.atom.pred, rule.head.pred));
+                }
+            }
+        }
+        DepGraph { edges, negative_edges, preds: preds.into_iter().collect() }
+    }
+
+    pub fn predicates(&self) -> &[Pred] {
+        &self.preds
+    }
+
+    /// Direct successors of `p` (heads depending on `p`).
+    pub fn successors(&self, p: Pred) -> impl Iterator<Item = Pred> + '_ {
+        self.edges.get(&p).into_iter().flatten().copied()
+    }
+
+    /// Strongly connected components in topological order of the dependence
+    /// edges: for an edge `q → r` (body predicate to head predicate), the
+    /// component of `q` appears before the component of `r`. Computed with an
+    /// iterative Tarjan; Tarjan emits components dependents-first, so the
+    /// result is reversed before returning.
+    pub fn sccs(&self) -> Vec<Vec<Pred>> {
+        // Iterative Tarjan to avoid recursion-depth limits on deep graphs.
+        #[derive(Clone)]
+        struct NodeState {
+            index: Option<u32>,
+            lowlink: u32,
+            on_stack: bool,
+        }
+        let ids: BTreeMap<Pred, usize> =
+            self.preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let succs: Vec<Vec<usize>> = self
+            .preds
+            .iter()
+            .map(|&p| self.successors(p).map(|q| ids[&q]).collect())
+            .collect();
+
+        let n = self.preds.len();
+        let mut state = vec![NodeState { index: None, lowlink: 0, on_stack: false }; n];
+        let mut next_index = 0u32;
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<Pred>> = Vec::new();
+
+        for root in 0..n {
+            if state[root].index.is_some() {
+                continue;
+            }
+            // Explicit DFS stack of (node, next-successor-position).
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+                if *pos == 0 {
+                    state[v].index = Some(next_index);
+                    state[v].lowlink = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    state[v].on_stack = true;
+                }
+                if let Some(&w) = succs[v].get(*pos) {
+                    *pos += 1;
+                    match state[w].index {
+                        None => call.push((w, 0)),
+                        Some(widx) => {
+                            if state[w].on_stack {
+                                state[v].lowlink = state[v].lowlink.min(widx);
+                            }
+                        }
+                    }
+                } else {
+                    // v is finished.
+                    if state[v].lowlink == state[v].index.expect("visited") {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            state[w].on_stack = false;
+                            comp.push(self.preds[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        sccs.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        let vl = state[v].lowlink;
+                        state[parent].lowlink = state[parent].lowlink.min(vl);
+                    }
+                }
+            }
+        }
+        sccs.reverse();
+        sccs
+    }
+
+    /// A predicate is recursive if there is a (non-empty) path from it back
+    /// to itself (§III).
+    pub fn is_recursive_pred(&self, p: Pred) -> bool {
+        // p is recursive iff it is in an SCC of size > 1, or has a self-loop.
+        if self.edges.get(&p).is_some_and(|s| s.contains(&p)) {
+            return true;
+        }
+        self.sccs().into_iter().any(|scc| scc.len() > 1 && scc.contains(&p))
+    }
+
+    /// A program is recursive if its dependence graph has a cycle (§III).
+    pub fn is_recursive(&self) -> bool {
+        self.preds.iter().any(|&p| self.is_recursive_pred(p))
+    }
+
+    /// Stratification: assign each predicate a stratum such that positive
+    /// dependencies are non-decreasing and negative dependencies strictly
+    /// increase. Returns `None` if the program is not stratifiable (a cycle
+    /// through negation).
+    pub fn stratify(&self) -> Option<BTreeMap<Pred, usize>> {
+        // Condense to SCCs; any negative edge inside an SCC kills it.
+        let sccs = self.sccs();
+        let comp_of: BTreeMap<Pred, usize> = sccs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
+            .collect();
+        for &(q, r) in &self.negative_edges {
+            if comp_of[&q] == comp_of[&r] {
+                return None;
+            }
+        }
+        // SCCs from Tarjan come in reverse topological order (dependencies
+        // first), so a single forward pass computes strata.
+        let mut stratum_of_comp = vec![0usize; sccs.len()];
+        for (i, _scc) in sccs.iter().enumerate() {
+            let mut s = 0usize;
+            // Incoming edges: find all edges (q → r) with r in this SCC; q's
+            // component already has a stratum because of reverse-topological
+            // order.
+            for (&q, succs) in &self.edges {
+                for &r in succs {
+                    if comp_of[&r] == i && comp_of[&q] != i {
+                        let base = stratum_of_comp[comp_of[&q]];
+                        let need = if self.negative_edges.contains(&(q, r)) { base + 1 } else { base };
+                        s = s.max(need);
+                    }
+                }
+            }
+            stratum_of_comp[i] = s;
+        }
+        Some(comp_of.into_iter().map(|(p, c)| (p, stratum_of_comp[c])).collect())
+    }
+}
+
+/// Rule-level recursion test (§III): a rule is recursive if the dependence
+/// graph has a cycle that includes the head predicate and a body predicate.
+/// Equivalently: some body predicate reaches the head predicate... and the
+/// head reaches back — i.e. head and the body predicate are in the same SCC,
+/// or head == body predicate.
+pub fn is_recursive_rule(graph: &DepGraph, rule: &crate::rule::Rule) -> bool {
+    let h = rule.head.pred;
+    if rule.body.iter().any(|l| l.atom.pred == h) {
+        return true;
+    }
+    let sccs = graph.sccs();
+    let comp_of: BTreeMap<Pred, usize> = sccs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
+        .collect();
+    let Some(&hc) = comp_of.get(&h) else {
+        return false;
+    };
+    rule.body
+        .iter()
+        .any(|l| comp_of.get(&l.atom.pred) == Some(&hc) && sccs[hc].len() > 1)
+}
+
+/// A program is *linear* if each rule body has at most one recursive
+/// predicate (§V's "linear programs").
+pub fn is_linear(program: &Program) -> bool {
+    let g = DepGraph::new(program);
+    program.rules.iter().all(|r| {
+        r.body.iter().filter(|l| g.is_recursive_pred(l.atom.pred)).count() <= 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn tc_program_is_recursive() {
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let g = DepGraph::new(&p);
+        assert!(g.is_recursive());
+        assert!(g.is_recursive_pred(Pred::new("g")));
+        assert!(!g.is_recursive_pred(Pred::new("a")));
+        assert!(!is_recursive_rule(&g, &p.rules[0]));
+        assert!(is_recursive_rule(&g, &p.rules[1]));
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let p = parse_program("q(X) :- a(X, Y), b(Y). r(X) :- q(X).").unwrap();
+        let g = DepGraph::new(&p);
+        assert!(!g.is_recursive());
+        assert!(p.rules.iter().all(|r| !is_recursive_rule(&g, r)));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let p = parse_program("p(X) :- q(X). q(X) :- p(X). p(X) :- e(X).").unwrap();
+        let g = DepGraph::new(&p);
+        assert!(g.is_recursive_pred(Pred::new("p")));
+        assert!(g.is_recursive_pred(Pred::new("q")));
+        // Both rules p:-q and q:-p are recursive.
+        assert!(is_recursive_rule(&g, &p.rules[0]));
+        assert!(is_recursive_rule(&g, &p.rules[1]));
+        assert!(!is_recursive_rule(&g, &p.rules[2]));
+    }
+
+    #[test]
+    fn sccs_reverse_topological() {
+        let p = parse_program("r(X) :- q(X). q(X) :- p(X). p(X) :- e(X).").unwrap();
+        let g = DepGraph::new(&p);
+        let sccs = g.sccs();
+        // e before p before q before r.
+        let pos = |name: &str| {
+            sccs.iter().position(|scc| scc.contains(&Pred::new(name))).unwrap()
+        };
+        assert!(pos("e") < pos("p"));
+        assert!(pos("p") < pos("q"));
+        assert!(pos("q") < pos("r"));
+    }
+
+    #[test]
+    fn left_linear_tc_is_linear_doubling_is_not() {
+        let left = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        assert!(is_linear(&left));
+        let doubling = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        assert!(!is_linear(&doubling));
+    }
+
+    #[test]
+    fn stratification_basic() {
+        let p = parse_program(
+            "reach(X) :- src(X).\n\
+             reach(Y) :- reach(X), edge(X, Y).\n\
+             unreach(X) :- node(X), !reach(X).",
+        )
+        .unwrap();
+        let g = DepGraph::new(&p);
+        let strata = g.stratify().unwrap();
+        assert!(strata[&Pred::new("unreach")] > strata[&Pred::new("reach")]);
+    }
+
+    #[test]
+    fn unstratifiable_program() {
+        let p = parse_program("p(X) :- n(X), !q(X). q(X) :- n(X), !p(X).").unwrap();
+        let g = DepGraph::new(&p);
+        assert!(g.stratify().is_none());
+    }
+
+    #[test]
+    fn positive_recursion_through_negation_free_cycle_is_stratifiable() {
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let g = DepGraph::new(&p);
+        let strata = g.stratify().unwrap();
+        assert_eq!(strata[&Pred::new("g")], 0);
+        assert_eq!(strata[&Pred::new("a")], 0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 3000-predicate chain; recursive Tarjan would risk stack overflow.
+        let mut src = String::from("p0(X) :- e(X).\n");
+        for i in 1..3000 {
+            src.push_str(&format!("p{i}(X) :- p{}(X).\n", i - 1));
+        }
+        let p = parse_program(&src).unwrap();
+        let g = DepGraph::new(&p);
+        assert!(!g.is_recursive());
+        assert_eq!(g.sccs().len(), 3001); // e plus p0..p2999
+    }
+}

@@ -1,0 +1,221 @@
+//! Rules (Horn clauses) and their structural predicates.
+
+use crate::atom::{Atom, Literal};
+use crate::symbol::Var;
+use crate::term::Const;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Datalog rule `head :- body` (§II). The body is a conjunction of
+/// literals; in the paper's fragment all literals are positive.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    pub head: Atom,
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Build a rule from a head and positive body atoms.
+    pub fn positive(head: Atom, body: impl IntoIterator<Item = Atom>) -> Rule {
+        Rule { head, body: body.into_iter().map(Literal::pos).collect() }
+    }
+
+    /// A fact rule: ground head, empty body.
+    pub fn fact(head: Atom) -> Rule {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// True if every literal in the body is positive (the paper's fragment).
+    pub fn is_positive(&self) -> bool {
+        self.body.iter().all(Literal::is_positive)
+    }
+
+    /// The positive body atoms, in order.
+    pub fn positive_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| l.is_positive()).map(|l| &l.atom)
+    }
+
+    /// The negated body atoms, in order.
+    pub fn negative_body(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter(|l| l.negated).map(|l| &l.atom)
+    }
+
+    /// All distinct variables of the rule (head and body), sorted.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut set: BTreeSet<Var> = self.head.vars().collect();
+        for lit in &self.body {
+            set.extend(lit.atom.vars());
+        }
+        set
+    }
+
+    /// Distinct variables of the body only, sorted.
+    pub fn body_vars(&self) -> BTreeSet<Var> {
+        self.body.iter().flat_map(|l| l.atom.vars()).collect()
+    }
+
+    /// All constants appearing anywhere in the rule.
+    pub fn consts(&self) -> BTreeSet<Const> {
+        let mut set: BTreeSet<Const> = self.head.consts().collect();
+        for lit in &self.body {
+            set.extend(lit.atom.consts());
+        }
+        set
+    }
+
+    /// Range restriction (§II): every variable in the head must also appear
+    /// in a *positive* body literal. (Positivity matters only for the
+    /// stratified extension; in the paper's fragment all literals are
+    /// positive.)
+    pub fn is_range_restricted(&self) -> bool {
+        let bound: BTreeSet<Var> = self.positive_body().flat_map(Atom::vars).collect();
+        self.head.vars().all(|v| bound.contains(&v))
+    }
+
+    /// Safety for negation: every variable of a negated literal must occur in
+    /// some positive literal.
+    pub fn is_safe(&self) -> bool {
+        let bound: BTreeSet<Var> = self.positive_body().flat_map(Atom::vars).collect();
+        self.is_range_restricted()
+            && self.negative_body().all(|a| a.vars().all(|v| bound.contains(&v)))
+    }
+
+    /// True if the head predicate also occurs in the body (a self-recursive
+    /// rule, the simplest case of the paper's §III definition).
+    pub fn is_directly_recursive(&self) -> bool {
+        self.body.iter().any(|l| l.atom.pred == self.head.pred)
+    }
+
+    /// Number of body literals — the join width this rule induces.
+    pub fn width(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The rule with body atom at `idx` removed (the r̂ of Fig. 1).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn without_body_atom(&self, idx: usize) -> Rule {
+        let mut body = self.body.clone();
+        body.remove(idx);
+        Rule { head: self.head.clone(), body }
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, lit) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{lit}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::term::Term;
+
+    fn tc_rules() -> (Rule, Rule) {
+        // Example 1 of the paper.
+        let base = Rule::positive(
+            atom("G", [Term::var("X"), Term::var("Z")]),
+            [atom("A", [Term::var("X"), Term::var("Z")])],
+        );
+        let rec = Rule::positive(
+            atom("G", [Term::var("X"), Term::var("Z")]),
+            [
+                atom("G", [Term::var("X"), Term::var("Y")]),
+                atom("G", [Term::var("Y"), Term::var("Z")]),
+            ],
+        );
+        (base, rec)
+    }
+
+    #[test]
+    fn range_restriction() {
+        let (base, rec) = tc_rules();
+        assert!(base.is_range_restricted());
+        assert!(rec.is_range_restricted());
+
+        let bad = Rule::positive(
+            atom("G", [Term::var("X"), Term::var("W")]),
+            [atom("A", [Term::var("X"), Term::var("Z")])],
+        );
+        assert!(!bad.is_range_restricted());
+    }
+
+    #[test]
+    fn empty_body_ground_head_is_range_restricted() {
+        // §II: rules with an empty body are allowed when the head has only
+        // constants.
+        let f = Rule::fact(atom("G", [Term::int(1), Term::int(2)]));
+        assert!(f.is_range_restricted());
+        let bad = Rule::fact(atom("G", [Term::var("X")]));
+        assert!(!bad.is_range_restricted());
+    }
+
+    #[test]
+    fn vars_and_recursion() {
+        let (base, rec) = tc_rules();
+        assert_eq!(base.vars().len(), 2);
+        assert_eq!(rec.vars().len(), 3);
+        assert!(!base.is_directly_recursive());
+        assert!(rec.is_directly_recursive());
+    }
+
+    #[test]
+    fn without_body_atom_drops_the_right_atom() {
+        let (_, rec) = tc_rules();
+        let dropped = rec.without_body_atom(1);
+        assert_eq!(dropped.width(), 1);
+        assert_eq!(dropped.body[0].atom.to_string(), "G(X, Y)");
+    }
+
+    #[test]
+    fn negation_safety() {
+        let safe = Rule::new(
+            atom("P", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("Q", [Term::var("X")])),
+                Literal::neg(atom("R", [Term::var("X")])),
+            ],
+        );
+        assert!(safe.is_safe());
+
+        let unsafe_rule = Rule::new(
+            atom("P", [Term::var("X")]),
+            vec![
+                Literal::pos(atom("Q", [Term::var("X")])),
+                Literal::neg(atom("R", [Term::var("Y")])),
+            ],
+        );
+        assert!(!unsafe_rule.is_safe());
+    }
+
+    #[test]
+    fn display_round() {
+        let (base, rec) = tc_rules();
+        assert_eq!(base.to_string(), "G(X, Z) :- A(X, Z).");
+        assert_eq!(rec.to_string(), "G(X, Z) :- G(X, Y), G(Y, Z).");
+        assert_eq!(Rule::fact(atom("A", [Term::int(1)])).to_string(), "A(1).");
+    }
+}

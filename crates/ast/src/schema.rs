@@ -1,0 +1,322 @@
+//! Optional relation schemas: declared arities and column types.
+//!
+//! The paper needs no types (constants are integers, §II), but a usable
+//! engine benefits from declared relations: arity typos and mixed-type
+//! columns are the bread-and-butter bugs of Datalog programming. A source
+//! unit may declare
+//!
+//! ```text
+//! @decl edge(int, int).
+//! @decl person(sym).
+//! @decl mixed(any, int).
+//! ```
+//!
+//! and [`SchemaSet::check_program`] / [`SchemaSet::check_database`] verify every use against the
+//! declarations. Undeclared predicates are unconstrained (declarations are
+//! opt-in), so untyped programs keep working unchanged.
+
+use crate::atom::Atom;
+use crate::database::Database;
+use crate::program::Program;
+use crate::symbol::Pred;
+use crate::term::{Const, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A column type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColType {
+    /// Integer constants only.
+    Int,
+    /// Named (symbolic) constants only.
+    Sym,
+    /// Any constant.
+    Any,
+}
+
+impl ColType {
+    /// Does a constant inhabit this type? Frozen constants and nulls are
+    /// algorithm-internal and inhabit every type.
+    pub fn admits(self, c: Const) -> bool {
+        matches!(
+            (self, c),
+            (ColType::Any, _)
+                | (_, Const::Frozen(_))
+                | (_, Const::Null(_))
+                | (ColType::Int, Const::Int(_))
+                | (ColType::Sym, Const::Sym(_))
+        )
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::Int => write!(f, "int"),
+            ColType::Sym => write!(f, "sym"),
+            ColType::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// A declared relation schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    pub pred: Pred,
+    pub columns: Vec<ColType>,
+}
+
+impl Schema {
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@decl {}(", self.pred)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ").")
+    }
+}
+
+/// A set of declarations, keyed by predicate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchemaSet {
+    schemas: BTreeMap<Pred, Schema>,
+}
+
+/// A schema violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Predicate used with an arity different from its declaration.
+    Arity { pred: Pred, declared: usize, found: usize, site: String },
+    /// A constant of the wrong type in a declared column.
+    Type { pred: Pred, column: usize, expected: ColType, found: Const, site: String },
+    /// The same predicate declared twice with different schemas.
+    Conflict { pred: Pred },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Arity { pred, declared, found, site } => write!(
+                f,
+                "{site}: predicate {pred} declared with arity {declared}, used with arity {found}"
+            ),
+            SchemaError::Type { pred, column, expected, found, site } => write!(
+                f,
+                "{site}: {pred} column {column} declared {expected}, got constant {found}"
+            ),
+            SchemaError::Conflict { pred } => {
+                write!(f, "predicate {pred} declared twice with different schemas")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl SchemaSet {
+    pub fn new() -> SchemaSet {
+        SchemaSet::default()
+    }
+
+    /// Add a declaration; reports a conflict if the predicate is already
+    /// declared differently (re-declaring identically is fine).
+    pub fn declare(&mut self, schema: Schema) -> Result<(), SchemaError> {
+        match self.schemas.get(&schema.pred) {
+            Some(existing) if *existing != schema => {
+                Err(SchemaError::Conflict { pred: schema.pred })
+            }
+            _ => {
+                self.schemas.insert(schema.pred, schema);
+                Ok(())
+            }
+        }
+    }
+
+    pub fn get(&self, pred: Pred) -> Option<&Schema> {
+        self.schemas.get(&pred)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Schema> {
+        self.schemas.values()
+    }
+
+    fn check_atom(&self, atom: &Atom, site: &str, errors: &mut Vec<SchemaError>) {
+        let Some(schema) = self.schemas.get(&atom.pred) else {
+            return;
+        };
+        if schema.arity() != atom.arity() {
+            errors.push(SchemaError::Arity {
+                pred: atom.pred,
+                declared: schema.arity(),
+                found: atom.arity(),
+                site: site.to_owned(),
+            });
+            return;
+        }
+        for (i, (t, &col)) in atom.terms.iter().zip(schema.columns.iter()).enumerate() {
+            if let Term::Const(c) = *t {
+                if !col.admits(c) {
+                    errors.push(SchemaError::Type {
+                        pred: atom.pred,
+                        column: i,
+                        expected: col,
+                        found: c,
+                        site: site.to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Check every atom of a program against the declarations.
+    pub fn check_program(&self, program: &Program) -> Result<(), Vec<SchemaError>> {
+        let mut errors = Vec::new();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let site = format!("rule {idx}");
+            self.check_atom(&rule.head, &site, &mut errors);
+            for lit in &rule.body {
+                self.check_atom(&lit.atom, &site, &mut errors);
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Check every ground atom of a database against the declarations.
+    pub fn check_database(&self, db: &Database) -> Result<(), Vec<SchemaError>> {
+        let mut errors = Vec::new();
+        for atom in db.iter() {
+            let Some(schema) = self.schemas.get(&atom.pred) else { continue };
+            if schema.arity() != atom.arity() {
+                errors.push(SchemaError::Arity {
+                    pred: atom.pred,
+                    declared: schema.arity(),
+                    found: atom.arity(),
+                    site: format!("fact {atom}"),
+                });
+                continue;
+            }
+            for (i, (&c, &col)) in atom.tuple.iter().zip(schema.columns.iter()).enumerate() {
+                if !col.admits(c) {
+                    errors.push(SchemaError::Type {
+                        pred: atom.pred,
+                        column: i,
+                        expected: col,
+                        found: c,
+                        site: format!("fact {atom}"),
+                    });
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::fact;
+    use crate::parse::parse_program;
+
+    fn edge_schema() -> Schema {
+        Schema { pred: Pred::new("edge"), columns: vec![ColType::Int, ColType::Int] }
+    }
+
+    #[test]
+    fn declare_and_conflict() {
+        let mut set = SchemaSet::new();
+        set.declare(edge_schema()).unwrap();
+        set.declare(edge_schema()).unwrap(); // identical re-declare is fine
+        let different =
+            Schema { pred: Pred::new("edge"), columns: vec![ColType::Sym, ColType::Sym] };
+        assert!(matches!(set.declare(different), Err(SchemaError::Conflict { .. })));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn program_arity_checked() {
+        let mut set = SchemaSet::new();
+        set.declare(edge_schema()).unwrap();
+        let good = parse_program("path(X, Y) :- edge(X, Y).").unwrap();
+        assert!(set.check_program(&good).is_ok());
+        let bad = parse_program("path(X) :- edge(X).").unwrap();
+        let errs = set.check_program(&bad).unwrap_err();
+        assert!(matches!(errs[0], SchemaError::Arity { found: 1, declared: 2, .. }));
+    }
+
+    #[test]
+    fn program_constant_types_checked() {
+        let mut set = SchemaSet::new();
+        set.declare(Schema { pred: Pred::new("person"), columns: vec![ColType::Sym] }).unwrap();
+        let good = parse_program("adult(X) :- person(X). v(1) :- person(ann).").unwrap();
+        assert!(set.check_program(&good).is_ok());
+        let bad = parse_program("v(1) :- person(7).").unwrap();
+        let errs = set.check_program(&bad).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            SchemaError::Type { expected: ColType::Sym, found: Const::Int(7), .. }
+        ));
+    }
+
+    #[test]
+    fn database_checked() {
+        let mut set = SchemaSet::new();
+        set.declare(edge_schema()).unwrap();
+        let mut db = Database::new();
+        db.insert(fact("edge", [1, 2]));
+        assert!(set.check_database(&db).is_ok());
+        db.insert(crate::atom::GroundAtom::new(
+            "edge",
+            vec![Const::from("oops"), Const::Int(2)],
+        ));
+        let errs = set.check_database(&db).unwrap_err();
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_predicates_are_unconstrained() {
+        let set = SchemaSet::new();
+        let p = parse_program("anything(X, Y, Z) :- whatever(X, Y, Z, W).").unwrap();
+        assert!(set.check_program(&p).is_ok());
+    }
+
+    #[test]
+    fn any_admits_everything_and_internals_always_pass() {
+        assert!(ColType::Any.admits(Const::Int(1)));
+        assert!(ColType::Any.admits(Const::from("x")));
+        assert!(ColType::Int.admits(Const::Null(3)), "nulls are internal");
+        assert!(ColType::Sym.admits(Const::Frozen(crate::symbol::Var::new("X"))));
+        assert!(!ColType::Int.admits(Const::from("x")));
+        assert!(!ColType::Sym.admits(Const::Int(3)));
+    }
+
+    #[test]
+    fn display_round() {
+        let s = edge_schema();
+        assert_eq!(s.to_string(), "@decl edge(int, int).");
+    }
+}

@@ -1,0 +1,198 @@
+//! Terms and constants.
+//!
+//! The paper assumes constants are integers (§II); we additionally support
+//! named constants for readable examples. Two more constant kinds exist only
+//! inside the algorithms:
+//!
+//! * [`Const::Frozen`] — the distinct constants used to *freeze* a rule body
+//!   into a canonical database (§VI: "a one-to-one substitution that maps each
+//!   variable of r to a distinct constant that is not already in r").
+//!   Representing them as a separate variant makes the "not already in r"
+//!   side-condition hold by construction.
+//! * [`Const::Null`] — labelled nulls δᵢ introduced by applying *embedded*
+//!   tuple-generating dependencies (§VIII). Once introduced they behave as
+//!   ordinary constants for rule/tgd application, exactly as the paper
+//!   specifies.
+
+use crate::symbol::{Sym, Var};
+use std::fmt;
+
+/// A ground value appearing in tuples and instantiated atoms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// An integer constant, the paper's canonical constant kind.
+    Int(i64),
+    /// A named (symbolic) constant, e.g. `john`.
+    Sym(Sym),
+    /// A freeze constant standing for a rule variable (§VI). The payload is
+    /// the frozen variable, so diagnostics can print `'X` for variable `X`.
+    Frozen(Var),
+    /// A labelled null δᵢ introduced by an embedded tgd (§VIII).
+    Null(u32),
+}
+
+impl Const {
+    /// True for constants that can appear in source programs and EDBs.
+    pub fn is_source(&self) -> bool {
+        matches!(self, Const::Int(_) | Const::Sym(_))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Const::Null(_))
+    }
+
+    pub fn is_frozen(&self) -> bool {
+        matches!(self, Const::Frozen(_))
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Sym(s) => write!(f, "{s}"),
+            Const::Frozen(v) => write!(f, "'{v}"),
+            Const::Null(n) => write!(f, "δ{n}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Const {
+        Const::Int(i)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Const {
+        Const::Sym(Sym::new(s))
+    }
+}
+
+/// A term: either a variable or a constant (§II — no function symbols).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Var(Var),
+    Const(Const),
+}
+
+impl Term {
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    pub fn int(i: i64) -> Term {
+        Term::Const(Const::Int(i))
+    }
+
+    pub fn sym(name: &str) -> Term {
+        Term::Const(Const::Sym(Sym::new(name)))
+    }
+
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(i: i64) -> Term {
+        Term::Const(Const::Int(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let x = Term::var("X");
+        assert!(x.is_var());
+        assert_eq!(x.as_var(), Some(Var::new("X")));
+        assert_eq!(x.as_const(), None);
+
+        let three = Term::int(3);
+        assert!(three.is_const());
+        assert_eq!(three.as_const(), Some(Const::Int(3)));
+        assert_eq!(three.as_var(), None);
+    }
+
+    #[test]
+    fn const_kinds_are_distinct() {
+        // An integer constant never equals a frozen/null constant — the
+        // "constants not already in r" guarantee of §VI.
+        assert_ne!(Const::Int(0), Const::Null(0));
+        assert_ne!(Const::Int(0), Const::Frozen(Var::new("X")));
+        assert_ne!(Const::Null(0), Const::Frozen(Var::new("X")));
+        assert!(Const::Int(5).is_source());
+        assert!(Const::from("john").is_source());
+        assert!(!Const::Null(1).is_source());
+        assert!(!Const::Frozen(Var::new("X")).is_source());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::int(42).to_string(), "42");
+        assert_eq!(Term::sym("ann").to_string(), "ann");
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Const::Null(7).to_string(), "δ7");
+        assert_eq!(Const::Frozen(Var::new("Y")).to_string(), "'Y");
+    }
+
+    #[test]
+    fn term_size_is_small() {
+        // The repro hint: "enums fit rule representation". Keep Term compact.
+        assert!(std::mem::size_of::<Term>() <= 16);
+    }
+}

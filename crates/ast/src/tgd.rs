@@ -1,0 +1,146 @@
+//! Tuple-generating dependencies (§VIII).
+//!
+//! A tgd is a formula `∀x̄ ∃ȳ [ψ1(x̄) → ψ2(x̄, ȳ)]` where both sides are
+//! conjunctions of atoms. Universally quantified variables are those in the
+//! left-hand side; existentially quantified variables appear only in the
+//! right-hand side. A tgd is *full* if it has no existential variables,
+//! *embedded* otherwise.
+//!
+//! The data type lives in `datalog-ast` (it is part of the common vocabulary,
+//! parsed from source); the chase machinery that *applies* tgds lives in
+//! `datalog-optimizer`.
+
+use crate::atom::Atom;
+use crate::symbol::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-generating dependency `lhs → rhs`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tgd {
+    pub lhs: Vec<Atom>,
+    pub rhs: Vec<Atom>,
+}
+
+impl Tgd {
+    pub fn new(lhs: Vec<Atom>, rhs: Vec<Atom>) -> Tgd {
+        Tgd { lhs, rhs }
+    }
+
+    /// Universally quantified variables: those of the left-hand side.
+    pub fn universal_vars(&self) -> BTreeSet<Var> {
+        self.lhs.iter().flat_map(Atom::vars).collect()
+    }
+
+    /// Existentially quantified variables: in the rhs but not the lhs.
+    pub fn existential_vars(&self) -> BTreeSet<Var> {
+        let uni = self.universal_vars();
+        self.rhs.iter().flat_map(Atom::vars).filter(|v| !uni.contains(v)).collect()
+    }
+
+    /// A tgd is *full* if it has no existentially quantified variables. Full
+    /// tgds behave exactly like rules (§VIII Example 10).
+    pub fn is_full(&self) -> bool {
+        self.existential_vars().is_empty()
+    }
+
+    /// Decompose a **full** tgd into equivalent rules, one per rhs atom
+    /// (§VIII Example 10). Returns `None` for embedded tgds.
+    pub fn to_rules(&self) -> Option<Vec<crate::rule::Rule>> {
+        if !self.is_full() {
+            return None;
+        }
+        Some(
+            self.rhs
+                .iter()
+                .map(|h| crate::rule::Rule::positive(h.clone(), self.lhs.iter().cloned()))
+                .collect(),
+        )
+    }
+
+    /// Well-formedness: non-empty sides, and every *universal* variable used
+    /// in the rhs must come from the lhs (true by definition), plus each side
+    /// non-empty.
+    pub fn is_well_formed(&self) -> bool {
+        !self.lhs.is_empty() && !self.rhs.is_empty()
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> ")?;
+        for (i, a) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::atom;
+    use crate::term::Term;
+
+    /// The tgd of Example 11: `G(x,z) -> A(x,w)`.
+    fn example11_tgd() -> Tgd {
+        Tgd::new(
+            vec![atom("G", [Term::var("X"), Term::var("Z")])],
+            vec![atom("A", [Term::var("X"), Term::var("W")])],
+        )
+    }
+
+    #[test]
+    fn quantifier_classification() {
+        let t = example11_tgd();
+        assert_eq!(t.universal_vars(), BTreeSet::from([Var::new("X"), Var::new("Z")]));
+        assert_eq!(t.existential_vars(), BTreeSet::from([Var::new("W")]));
+        assert!(!t.is_full());
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn full_tgd_to_rules_matches_example10() {
+        // A(x,y,z) & B(w,y,v) -> A(x,y,v) & T(w,y,z)
+        let t = Tgd::new(
+            vec![
+                atom("A", [Term::var("X"), Term::var("Y"), Term::var("Z")]),
+                atom("B", [Term::var("W"), Term::var("Y"), Term::var("V")]),
+            ],
+            vec![
+                atom("A", [Term::var("X"), Term::var("Y"), Term::var("V")]),
+                atom("T", [Term::var("W"), Term::var("Y"), Term::var("Z")]),
+            ],
+        );
+        assert!(t.is_full());
+        let rules = t.to_rules().unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].to_string(), "A(X, Y, V) :- A(X, Y, Z), B(W, Y, V).");
+        assert_eq!(rules[1].to_string(), "T(W, Y, Z) :- A(X, Y, Z), B(W, Y, V).");
+    }
+
+    #[test]
+    fn embedded_tgd_has_no_rule_decomposition() {
+        assert!(example11_tgd().to_rules().is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(example11_tgd().to_string(), "G(X, Z) -> A(X, W).");
+    }
+}

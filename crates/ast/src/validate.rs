@@ -1,0 +1,205 @@
+//! Program validation.
+//!
+//! Checks the side-conditions the paper assumes of every program (§II):
+//! range restriction (every head variable appears in the body) and
+//! consistent predicate arities; plus negation safety for the stratified
+//! extension. Algorithms in `datalog-optimizer` call [`validate`] (or
+//! [`validate_positive`]) on their inputs so that violations surface as
+//! typed errors rather than wrong answers.
+
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::symbol::Pred;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A validation diagnostic, tied to the rule index it concerns.
+#[derive(Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A head variable does not occur in any positive body literal (§II).
+    NotRangeRestricted { rule_idx: usize, rule: String, var: String },
+    /// A variable of a negated literal is not bound by a positive literal.
+    UnsafeNegation { rule_idx: usize, rule: String, var: String },
+    /// The same predicate is used with two different arities.
+    ArityMismatch { pred: Pred, expected: usize, found: usize, rule_idx: usize },
+    /// A negated literal in a context that requires a positive program
+    /// (all of the paper's §VI–§XI algorithms).
+    NegationNotSupported { rule_idx: usize, rule: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::NotRangeRestricted { rule_idx, rule, var } => write!(
+                f,
+                "rule {rule_idx} `{rule}`: head variable {var} does not occur in a positive body literal"
+            ),
+            ValidationError::UnsafeNegation { rule_idx, rule, var } => write!(
+                f,
+                "rule {rule_idx} `{rule}`: variable {var} of a negated literal is not bound by a positive literal"
+            ),
+            ValidationError::ArityMismatch { pred, expected, found, rule_idx } => write!(
+                f,
+                "rule {rule_idx}: predicate {pred} used with arity {found}, but previously with arity {expected}"
+            ),
+            ValidationError::NegationNotSupported { rule_idx, rule } => write!(
+                f,
+                "rule {rule_idx} `{rule}`: negation is not supported by this operation (positive Datalog required)"
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn check_rule_arities(
+    rule: &Rule,
+    rule_idx: usize,
+    arities: &mut BTreeMap<Pred, usize>,
+    errors: &mut Vec<ValidationError>,
+) {
+    let mut check = |pred: Pred, arity: usize| match arities.get(&pred) {
+        Some(&expected) if expected != arity => {
+            errors.push(ValidationError::ArityMismatch { pred, expected, found: arity, rule_idx });
+        }
+        Some(_) => {}
+        None => {
+            arities.insert(pred, arity);
+        }
+    };
+    check(rule.head.pred, rule.head.arity());
+    for lit in &rule.body {
+        check(lit.atom.pred, lit.atom.arity());
+    }
+}
+
+/// Validate a (possibly stratified-negation) program: range restriction,
+/// negation safety, arity consistency. Returns all diagnostics found.
+pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let mut arities = BTreeMap::new();
+    for (idx, rule) in program.rules.iter().enumerate() {
+        let bound: std::collections::BTreeSet<_> =
+            rule.positive_body().flat_map(crate::atom::Atom::vars).collect();
+        for v in rule.head.vars() {
+            if !bound.contains(&v) {
+                errors.push(ValidationError::NotRangeRestricted {
+                    rule_idx: idx,
+                    rule: rule.to_string(),
+                    var: v.name(),
+                });
+            }
+        }
+        for neg in rule.negative_body() {
+            for v in neg.vars() {
+                if !bound.contains(&v) {
+                    errors.push(ValidationError::UnsafeNegation {
+                        rule_idx: idx,
+                        rule: rule.to_string(),
+                        var: v.name(),
+                    });
+                }
+            }
+        }
+        check_rule_arities(rule, idx, &mut arities, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validate and additionally require the program to be negation-free — the
+/// fragment all of the paper's algorithms operate on.
+pub fn validate_positive(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = match validate(program) {
+        Ok(()) => Vec::new(),
+        Err(e) => e,
+    };
+    for (idx, rule) in program.rules.iter().enumerate() {
+        if !rule.is_positive() {
+            errors.push(ValidationError::NegationNotSupported {
+                rule_idx: idx,
+                rule: rule.to_string(),
+            });
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn valid_program_passes() {
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        assert!(validate(&p).is_ok());
+        assert!(validate_positive(&p).is_ok());
+    }
+
+    #[test]
+    fn range_restriction_violation() {
+        // The paper's §II example: Anc(x, x) :- . is not allowed.
+        let p = parse_program("anc(X, X).").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(matches!(errs[0], ValidationError::NotRangeRestricted { .. }));
+        // The paper's fix: bind x via Person(x).
+        let fixed = parse_program("anc(X, X) :- person(X).").unwrap();
+        assert!(validate(&fixed).is_ok());
+    }
+
+    #[test]
+    fn ground_fact_is_fine() {
+        let p = parse_program("a(1, 2).").unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program("g(X) :- a(X, Y). h(X) :- a(X).").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn unsafe_negation_detected() {
+        let p = parse_program("p(X) :- q(X), !r(Y).").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(matches!(errs[0], ValidationError::UnsafeNegation { .. }));
+    }
+
+    #[test]
+    fn safe_negation_passes_validate_but_not_positive() {
+        let p = parse_program("p(X) :- q(X), !r(X).").unwrap();
+        assert!(validate(&p).is_ok());
+        let errs = validate_positive(&p).unwrap_err();
+        assert!(matches!(errs[0], ValidationError::NegationNotSupported { .. }));
+    }
+
+    #[test]
+    fn multiple_errors_are_all_reported() {
+        let p = parse_program("g(X, W) :- a(X). h(Y) :- a(Y, Z).").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.len() >= 2, "expected at least 2 errors, got {errs:?}");
+    }
+
+    #[test]
+    fn variable_bound_only_by_negative_literal_is_not_range_restricted() {
+        let p = parse_program("p(X) :- q(Y), !r(X).").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::NotRangeRestricted { .. })));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the concrete syntax: printing any well-formed AST
+//! and re-parsing it must give the same AST back, and the parser must never
+//! panic on arbitrary input.
+
+use datalog_ast::{
+    atom, parse_atom, parse_program, parse_rule, parse_tgd, Atom, Literal, Program, Rule, Term,
+    Tgd,
+};
+use proptest::prelude::*;
+
+/// Parser-compatible predicate names.
+fn pred_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "edge", "g", "p", "q", "reach", "sg"])
+        .prop_map(str::to_owned)
+}
+
+/// Parser-compatible variable names (uppercase first letter).
+fn var_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["X", "Y", "Z", "W", "V0", "V1", "Who", "_u"])
+        .prop_map(str::to_owned)
+}
+
+/// Parser-compatible named constants.
+fn const_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["john", "ann", "n1", "leaf"]).prop_map(str::to_owned)
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var_name().prop_map(|v| Term::var(&v)),
+        any::<i32>().prop_map(|i| Term::int(i as i64)),
+        const_name().prop_map(|c| Term::sym(&c)),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (pred_name(), prop::collection::vec(term(), 0..4))
+        .prop_map(|(p, terms)| atom(&p, terms))
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    (arb_atom(), prop::collection::vec((arb_atom(), any::<bool>()), 0..4)).prop_map(
+        |(head, body)| {
+            Rule::new(
+                head,
+                body.into_iter()
+                    .map(|(a, neg)| if neg { Literal::neg(a) } else { Literal::pos(a) })
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_rule(), 0..6).prop_map(Program::new)
+}
+
+fn arb_tgd() -> impl Strategy<Value = Tgd> {
+    (prop::collection::vec(arb_atom(), 1..3), prop::collection::vec(arb_atom(), 1..3))
+        .prop_map(|(lhs, rhs)| Tgd::new(lhs, rhs))
+}
+
+// The printer emits facts (empty-body rules) as `head.`; the parser
+// classifies them back as rules. Bodiless rules round-trip exactly.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn atom_roundtrip(a in arb_atom()) {
+        // Zero-arity atoms print as `p()`... no: Display prints `p()`.
+        let printed = a.to_string();
+        let reparsed = parse_atom(&printed).unwrap();
+        prop_assert_eq!(a, reparsed);
+    }
+
+    #[test]
+    fn rule_roundtrip(r in arb_rule()) {
+        let printed = r.to_string();
+        let reparsed = parse_rule(&printed).unwrap();
+        prop_assert_eq!(r, reparsed);
+    }
+
+    #[test]
+    fn program_roundtrip(p in arb_program()) {
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn tgd_roundtrip(t in arb_tgd()) {
+        let printed = t.to_string();
+        let reparsed = parse_tgd(&printed).unwrap();
+        prop_assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC*") {
+        // Any result is fine; crashing is not.
+        let _ = parse_program(&s);
+        let _ = parse_atom(&s);
+        let _ = parse_tgd(&s);
+        let _ = datalog_ast::parse_database(&s);
+        let _ = datalog_ast::parse_unit(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_almost_valid_input(
+        base in arb_program(),
+        cut in any::<prop::sample::Index>(),
+        junk in "[a-zX,():.%&!-]{0,6}",
+    ) {
+        // Truncate a valid program at an arbitrary byte boundary and append
+        // junk — exercises every error path in the parser.
+        let printed = base.to_string();
+        let mut idx = cut.index(printed.len().max(1)).min(printed.len());
+        while !printed.is_char_boundary(idx) {
+            idx -= 1;
+        }
+        let mangled = format!("{}{}", &printed[..idx], junk);
+        let _ = parse_program(&mangled);
+        let _ = datalog_ast::parse_unit(&mangled);
+    }
+}

@@ -1,0 +1,147 @@
+//! Ablation benches for the engine design choices called out in DESIGN.md:
+//!
+//! * greedy bound-variable join ordering vs. source order;
+//! * SCC-layered evaluation vs. monolithic semi-naive;
+//! * incremental insertion vs. from-scratch re-evaluation;
+//! * naive vs. semi-naive (the classic ablation, also in eval_speedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog_ast::{fact, parse_program, Database};
+use datalog_bench::standard_edb;
+use datalog_engine::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use datalog_engine::{incremental::Materialized, scc_eval, seminaive};
+use datalog_generate::{edge_db, edges, GraphKind};
+use std::time::Duration;
+
+/// Join a deliberately badly-ordered body: the selective atoms come last in
+/// source order, so source-order execution scans the big relation first.
+fn bench_join_order(c: &mut Criterion) {
+    let rule = parse_program("out(X, W) :- big(Y, Z), mid(X, Y), sel(X), far(Z, W).")
+        .unwrap()
+        .rules
+        .remove(0);
+    let plan = RulePlan::compile(&rule);
+
+    // big: 2000 tuples; mid: 200; sel: 3; far: 100.
+    let mut db = Database::new();
+    for i in 0..2000i64 {
+        db.insert(fact("big", [i % 50, i % 41]));
+    }
+    for i in 0..200i64 {
+        db.insert(fact("mid", [i % 20, i % 50]));
+    }
+    for i in 0..3i64 {
+        db.insert(fact("sel", [i]));
+    }
+    for i in 0..100i64 {
+        db.insert(fact("far", [i % 41, i]));
+    }
+
+    let mut group = c.benchmark_group("ablation/join_order");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let source_order: Vec<usize> = (0..plan.body.len()).collect();
+    group.bench_function("source_order", |b| {
+        b.iter(|| {
+            let mut idx = IndexSet::new(&db);
+            let mut n = 0u64;
+            join_body(&plan, &source_order, &mut idx, None, |a| {
+                std::hint::black_box(instantiate_head(&plan, a));
+                n += 1;
+            });
+            n
+        });
+    });
+    group.bench_function("greedy_order", |b| {
+        b.iter(|| {
+            let order = plan.greedy_order(&db);
+            let mut idx = IndexSet::new(&db);
+            let mut n = 0u64;
+            join_body(&plan, &order, &mut idx, None, |a| {
+                std::hint::black_box(instantiate_head(&plan, a));
+                n += 1;
+            });
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_scc_layering(c: &mut Criterion) {
+    // Cross-tower join (the shape where layering wins).
+    let p = parse_program(
+        "t1(X, Z) :- e(X, Z). t1(X, Z) :- t1(X, Y), e(Y, Z).
+         t2(X, Z) :- f(X, Z). t2(X, Z) :- t2(X, Y), f(Y, Z).
+         cross(X, Y) :- t1(X, Y), t2(Y, X).",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("ablation/scc_layering");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [24usize, 48] {
+        let mut db = edge_db("e", GraphKind::Chain { n });
+        for (x, y) in edges(GraphKind::Chain { n }) {
+            db.insert(fact("f", [y, x]));
+        }
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &n, |b, _| {
+            b.iter(|| seminaive::evaluate(std::hint::black_box(&p), std::hint::black_box(&db)));
+        });
+        group.bench_with_input(BenchmarkId::new("scc_layered", n), &n, |b, _| {
+            b.iter(|| scc_eval::evaluate(std::hint::black_box(&p), std::hint::black_box(&db)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+    let mut group = c.benchmark_group("ablation/incremental");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [64usize, 128] {
+        let edb = standard_edb("chain", n);
+        // Pre-saturated state missing the final edge.
+        let mut base = edb.clone();
+        let last = fact("a", [n as i64, n as i64 + 1]);
+        let materialized = Materialized::new(p.clone(), &base);
+        base.insert(last.clone());
+
+        group.bench_with_input(BenchmarkId::new("insert_one", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = materialized.clone();
+                m.insert([last.clone()]);
+                m
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &n, |b, _| {
+            b.iter(|| seminaive::evaluate(std::hint::black_box(&p), std::hint::black_box(&base)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_magic_vs_qsq(c: &mut Criterion) {
+    // The two query-directed strategies over the same bound query.
+    let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+    let query = datalog_ast::parse_atom("g(0, X)").unwrap();
+    let mut group = c.benchmark_group("ablation/magic_vs_qsq");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [32usize, 64] {
+        let edb = standard_edb("chain", n);
+        group.bench_with_input(BenchmarkId::new("magic", n), &n, |b, _| {
+            b.iter(|| datalog_engine::magic::answer(std::hint::black_box(&p), std::hint::black_box(&edb), &query));
+        });
+        group.bench_with_input(BenchmarkId::new("qsq", n), &n, |b, _| {
+            b.iter(|| datalog_engine::qsq::answer(std::hint::black_box(&p), std::hint::black_box(&edb), &query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_order, bench_scc_layering, bench_incremental_vs_scratch, bench_magic_vs_qsq);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment E13 — cost of the uniform-containment decision procedure
+//! (§VI), the primitive underlying everything else.
+//!
+//! Paper claim: the test is decidable and always terminates; its cost
+//! depends on the *program*, not on any EDB. We sweep (a) the width of the
+//! frozen rule (canonical-database size) and (b) the number of rules in the
+//! containing program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use datalog_bench::{guarded_tc, wide_rule};
+use datalog_generate::{random_program, RandomProgramSpec};
+use datalog_optimizer::{rule_contained, uniformly_contains};
+
+fn bench_rule_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/rule_width");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for width in [4usize, 8, 12, 16] {
+        let program = wide_rule(width);
+        let rule = program.rules[0].clone();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| rule_contained(std::hint::black_box(&rule), std::hint::black_box(&program)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_program_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment/program_size");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for rules in [2usize, 4, 8, 16] {
+        let spec = RandomProgramSpec { rules, body_len: (1, 3), var_pool: 4, ..Default::default() };
+        let p1 = random_program(&spec, 11);
+        let p2 = random_program(&spec, 12);
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| {
+                uniformly_contains(std::hint::black_box(&p1), std::hint::black_box(&p2)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_guarded_tc(c: &mut Criterion) {
+    // Self-containment of the guarded-TC family. The frozen recursive rule
+    // has k independent guard variables, so the canonical-database
+    // saturation is Θ(|a|^k) — the exponential-in-program-size worst case
+    // the paper warns about (§I). k is capped accordingly; k=8 already
+    // takes thousands of seconds.
+    let mut group = c.benchmark_group("containment/guarded_tc");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [0usize, 2, 4, 5] {
+        let p = guarded_tc(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| uniformly_contains(std::hint::black_box(&p), std::hint::black_box(&p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_width, bench_program_size, bench_guarded_tc);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Experiment E8 — cost of the Fig. 3 non-recursive preservation test and
+//! the full §X certification pipeline.
+//!
+//! The combination count is exponential in the number of intentional atoms
+//! in a tgd's lhs (§IX: "n ground atoms … m rules … nᵐ combinations"); the
+//! sweep over lhs width makes that visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use datalog_ast::{parse_program, parse_tgds, Tgd};
+use datalog_bench::guarded_tc;
+use datalog_optimizer::{
+    models_condition, preliminary_db_satisfies, preserves_nonrecursively, Proof,
+};
+
+const FUEL: u64 = 10_000;
+
+fn example14_inputs() -> (datalog_ast::Program, Vec<Tgd>) {
+    let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
+    let t = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
+    (p, t)
+}
+
+fn bench_fig3_example14(c: &mut Criterion) {
+    let (p, t) = example14_inputs();
+    c.bench_function("preserve/fig3_example14", |b| {
+        b.iter(|| {
+            assert_eq!(
+                preserves_nonrecursively(std::hint::black_box(&p), std::hint::black_box(&t), FUEL),
+                Proof::Proved
+            )
+        });
+    });
+}
+
+fn bench_fig3_lhs_width(c: &mut Criterion) {
+    // lhs of width w over the doubling program: w+? combinations each with
+    // 3 unification choices (2 rules + trivial) — 3^w combinations.
+    let mut group = c.benchmark_group("preserve/fig3_lhs_width");
+    group.sample_size(12);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
+    for w in [1usize, 2, 3] {
+        let mut lhs = Vec::new();
+        for i in 0..w {
+            lhs.push(format!("g(X{i}, X{})", i + 1));
+        }
+        let tgd_src = format!("{} -> a(X0, W).", lhs.join(" & "));
+        let t = parse_tgds(&tgd_src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| preserves_nonrecursively(std::hint::black_box(&p), std::hint::black_box(&t), FUEL));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_certification(c: &mut Criterion) {
+    // The complete §X pipeline — conditions (1), (2), (3′) — for the
+    // guarded-TC family.
+    let mut group = c.benchmark_group("preserve/full_certification");
+    group.sample_size(12);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [1usize, 2, 4] {
+        let p1 = guarded_tc(k);
+        let p2 = guarded_tc(k - 1);
+        let t = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let c1 = models_condition(&p1, &p2, &t, FUEL);
+                let c2 = preserves_nonrecursively(&p1, &t, FUEL);
+                let c3 = preliminary_db_satisfies(&p1, &t);
+                assert_eq!(c1, Proof::Proved);
+                assert_eq!(c2, Proof::Proved);
+                assert!(c3);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_example14, bench_fig3_lhs_width, bench_full_certification);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Render `experiments.json` (written by the `experiments` binary) as the
+//! markdown tables used in EXPERIMENTS.md.
+//!
+//! Run with:
+//! `cargo run -p datalog-bench --bin summarize --release [experiments.json]`
+
+use std::collections::BTreeMap;
+
+#[derive(serde::Deserialize)]
+struct Row {
+    experiment: String,
+    workload: String,
+    series: String,
+    x: u64,
+    value: f64,
+    unit: String,
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "experiments.json".into());
+    let data = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}\nrun the `experiments` binary first");
+            std::process::exit(1);
+        }
+    };
+    let rows: Vec<Row> = serde_json::from_str(&data).expect("experiments.json parses");
+
+    // Group by (experiment, workload); columns = series; rows = x.
+    type Cells = BTreeMap<String, (f64, String)>;
+    type Table = BTreeMap<u64, Cells>;
+    let mut groups: BTreeMap<(String, String), Table> = BTreeMap::new();
+    for r in rows {
+        groups
+            .entry((r.experiment.clone(), r.workload.clone()))
+            .or_default()
+            .entry(r.x)
+            .or_default()
+            .insert(r.series, (r.value, r.unit));
+    }
+
+    for ((experiment, workload), by_x) in &groups {
+        println!("### {experiment} — {workload}\n");
+        // Collect the union of series names for the header.
+        let mut series: Vec<&String> =
+            by_x.values().flat_map(|m| m.keys()).collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        series.sort();
+        print!("| x |");
+        for s in &series {
+            print!(" {s} |");
+        }
+        println!();
+        print!("|---|");
+        for _ in &series {
+            print!("---|");
+        }
+        println!();
+        for (x, cells) in by_x {
+            print!("| {x} |");
+            for s in &series {
+                match cells.get(*s) {
+                    Some((v, unit)) => print!(" {v:.3} {unit} |"),
+                    None => print!(" — |"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,158 @@
+//! # datalog-bench
+//!
+//! Shared workloads and measurement helpers for the benchmark suite.
+//! The Criterion benches under `benches/` regenerate the per-experiment
+//! timing series; the `experiments` binary (`cargo run -p datalog-bench
+//! --bin experiments --release`) reruns every experiment of EXPERIMENTS.md
+//! and prints paper-claim vs. measured rows (also as JSON).
+
+#![warn(rust_2018_idioms)]
+
+use datalog_ast::{parse_program, Database, Program};
+use datalog_engine::Stats;
+use datalog_generate::{edge_db, GraphKind};
+use serde::Serialize;
+
+/// One measured row of an experiment, serialisable for EXPERIMENTS.md.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    pub experiment: String,
+    pub workload: String,
+    pub series: String,
+    pub x: u64,
+    pub value: f64,
+    pub unit: String,
+}
+
+impl Row {
+    pub fn new(
+        experiment: &str,
+        workload: &str,
+        series: &str,
+        x: u64,
+        value: f64,
+        unit: &str,
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            series: series.into(),
+            x,
+            value,
+            unit: unit.into(),
+        }
+    }
+}
+
+/// A transitive-closure program with `k` *pattern-planted* redundant guard
+/// atoms `a(Y0, Wi)` on the recursive rule — the Example 11/18 shape
+/// scaled. Fig. 2 (uniform equivalence) folds duplicate guards down to one
+/// (each `Wi` maps homomorphically onto another), but the *last* guard
+/// survives uniform minimization and needs the §X–XI equivalence machinery.
+pub fn guarded_tc(k: usize) -> Program {
+    let mut body = String::from("g(X, Y0), g(Y0, Z)");
+    for i in 0..k {
+        body.push_str(&format!(", a(Y0, W{i})"));
+    }
+    parse_program(&format!("g(X, Z) :- a(X, Z). g(X, Z) :- {body}."))
+        .expect("generated program parses")
+}
+
+/// An Example-7-shaped single-rule program of total body width `width`
+/// (≥ 4): the Example 7 core plus a chain of widening atoms, used for the
+/// minimization-scaling sweeps.
+pub fn wide_rule(width: usize) -> Program {
+    // g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y), a(W, V0), a(V0, V1), ...
+    let mut body = String::from("g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y)");
+    let mut prev = "W".to_string();
+    for i in 0..width.saturating_sub(4) {
+        body.push_str(&format!(", a({prev}, V{i})"));
+        prev = format!("V{i}");
+    }
+    parse_program(&format!("g(X, Y, Z) :- {body}."))
+        .expect("generated program parses")
+}
+
+/// Standard EDB families used across experiments.
+pub fn standard_edb(kind: &str, n: usize) -> Database {
+    match kind {
+        "chain" => edge_db("a", GraphKind::Chain { n }),
+        "cycle" => edge_db("a", GraphKind::Cycle { n }),
+        "er" => edge_db("a", GraphKind::ErdosRenyi { n, p: 8.0 / n.max(8) as f64, seed: 7 }),
+        other => panic!("unknown EDB kind {other}"),
+    }
+}
+
+/// Measure an evaluation closure: wall time in nanoseconds plus the
+/// engine's own stats.
+pub fn time_eval<F: FnOnce() -> Stats>(f: F) -> (u64, Stats) {
+    let start = std::time::Instant::now();
+    let stats = f();
+    (start.elapsed().as_nanos() as u64, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::validate_positive;
+
+    #[test]
+    fn guarded_tc_shapes() {
+        let p0 = guarded_tc(0);
+        assert_eq!(p0.total_width(), 3);
+        let p3 = guarded_tc(3);
+        assert_eq!(p3.total_width(), 6);
+        assert!(validate_positive(&p3).is_ok());
+    }
+
+    #[test]
+    fn guards_are_equivalence_redundant() {
+        let p = guarded_tc(2);
+        let (optimized, applied) =
+            datalog_optimizer::optimize_under_equivalence(&p, 10_000).unwrap();
+        assert!(!applied.is_empty());
+        assert_eq!(optimized.total_width(), 3);
+    }
+
+    #[test]
+    fn wide_rule_minimizes_to_example7_core() {
+        let p = wide_rule(6);
+        assert!(validate_positive(&p).is_ok());
+        let (min, _) = datalog_optimizer::minimize_program(&p).unwrap();
+        assert!(min.rules[0].width() <= p.rules[0].width());
+    }
+
+    #[test]
+    fn standard_edbs() {
+        assert_eq!(standard_edb("chain", 10).len(), 10);
+        assert_eq!(standard_edb("cycle", 10).len(), 10);
+        assert!(!standard_edb("er", 20).is_empty());
+    }
+
+    #[test]
+    fn row_serialises() {
+        let r = Row::new("E10", "chain", "minimized", 64, 1.5, "ms");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"experiment\":\"E10\""));
+    }
+}
+
+#[cfg(test)]
+mod bench_sanity {
+    /// Guard: the workloads used by the criterion benches stay in sane
+    /// time budgets (catches pathological injection seeds before a bench
+    /// run wastes an hour).
+    #[test]
+    fn minimize_bench_workloads_are_fast() {
+        for k in [1usize, 3, 6, 9] {
+            let p = datalog_generate::bloated_tc(k, 99);
+            let t = std::time::Instant::now();
+            let _ = datalog_optimizer::minimize_program(&p).unwrap();
+            assert!(
+                t.elapsed() < std::time::Duration::from_secs(2),
+                "bloated_tc({k}, 99) minimization took {:?}",
+                t.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The combined chase `[P, T]` — rules plus tuple-generating dependencies
+//! (§VIII, Theorem 1).
+//!
+//! Applying a tgd τ to a database `d`: for every instantiation θ of the
+//! universally quantified variables that converts `lhs(τ)` to ground atoms
+//! of `d` with **no** extension converting `rhs(τ)` to ground atoms of `d`,
+//! extend θ by mapping each existential variable to a fresh labelled null
+//! δᵢ and add the instantiated rhs atoms. Full tgds behave exactly like
+//! rules; embedded tgds introduce nulls and may chase forever.
+//!
+//! Theorem 1: for a rule `r = h :- b` frozen by θ,
+//! `hθ ∈ [P, T](bθ) ⇔ SAT(T) ∩ M(P) ⊆ M(r)`.
+//! The left-hand side is semi-decidable: `hθ` is found in finite time when
+//! present, but saturation may never be reached. We therefore run the chase
+//! with a deterministic *fuel* budget (a bound on derived atoms) and report
+//! a three-valued [`Proof`]; the paper's own remedy is the same, phrased as
+//! "spend on optimization a predetermined amount of time" (§XI).
+
+use crate::freeze::freeze_rule;
+use datalog_ast::{Atom, Const, Database, GroundAtom, Program, Rule, Subst, Term, Tgd};
+use datalog_engine::naive;
+
+/// Outcome of a semi-decidable test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proof {
+    /// The property was established.
+    Proved,
+    /// The chase saturated without establishing the property — a definite
+    /// refutation over arbitrary (finite and infinite) databases.
+    Disproved,
+    /// The fuel budget was exhausted before the chase settled.
+    OutOfFuel,
+}
+
+impl Proof {
+    pub fn is_proved(self) -> bool {
+        self == Proof::Proved
+    }
+
+    /// Combine: all must be proved; any disproof dominates fuel exhaustion.
+    pub fn and(self, other: Proof) -> Proof {
+        use Proof::*;
+        match (self, other) {
+            (Proved, x) | (x, Proved) => x,
+            (Disproved, _) | (_, Disproved) => Disproved,
+            (OutOfFuel, OutOfFuel) => OutOfFuel,
+        }
+    }
+}
+
+/// How a chase run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseStatus {
+    /// No rule or tgd application can add anything.
+    Saturated,
+    /// The goal atom was derived (early exit).
+    GoalReached,
+    /// The fuel budget ran out.
+    OutOfFuel,
+}
+
+/// Result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    pub db: Database,
+    pub status: ChaseStatus,
+    /// Number of atoms added by the chase (rule- and tgd-derived).
+    pub added: u64,
+}
+
+/// Enumerate all matches of a conjunction of atoms against `db`, starting
+/// from `base`; calls `found` with each complete substitution. `found`
+/// returns `true` to stop early. Returns whether enumeration stopped early.
+pub(crate) fn for_each_match(
+    atoms: &[Atom],
+    db: &Database,
+    base: &Subst,
+    found: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    fn rec(
+        atoms: &[Atom],
+        db: &Database,
+        subst: &Subst,
+        found: &mut dyn FnMut(&Subst) -> bool,
+    ) -> bool {
+        let Some((first, rest)) = atoms.split_first() else {
+            return found(subst);
+        };
+        let pattern = subst.apply_atom(first);
+        for tuple in db.relation(pattern.pred) {
+            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            let mut s = subst.clone();
+            if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, db, &s, found) {
+                return true;
+            }
+        }
+        false
+    }
+    rec(atoms, db, base, found)
+}
+
+/// Is there an extension of `base` making every atom of `atoms` a ground
+/// atom of `db`? (The tgd-satisfaction check of §VIII.)
+pub(crate) fn has_extension(atoms: &[Atom], db: &Database, base: &Subst) -> bool {
+    for_each_match(atoms, db, base, &mut |_| true)
+}
+
+/// Apply every tgd of `tgds` to `db` once (one violation-repair pass).
+/// Fresh nulls are drawn from `null_counter`. Returns the number of atoms
+/// added; stops early if `fuel` would be exceeded (returning what was added
+/// so far).
+fn apply_tgds_once(
+    tgds: &[Tgd],
+    db: &mut Database,
+    null_counter: &mut u32,
+    budget: &mut u64,
+) -> u64 {
+    let mut added = 0;
+    for tgd in tgds {
+        // Collect violating substitutions first (don't mutate while
+        // matching); then repair. Re-check the violation at repair time:
+        // an earlier repair in this pass may have satisfied it.
+        let mut violations: Vec<Subst> = Vec::new();
+        let snapshot = db.clone();
+        for_each_match(&tgd.lhs, &snapshot, &Subst::new(), &mut |s| {
+            // Restrict to universal variables (lhs vars) — existentials are
+            // never bound here.
+            if !has_extension(&tgd.rhs, &snapshot, s) {
+                violations.push(s.clone());
+            }
+            false
+        });
+        for theta in violations {
+            if *budget == 0 {
+                return added;
+            }
+            if has_extension(&tgd.rhs, db, &theta) {
+                continue; // repaired meanwhile
+            }
+            let mut extended = theta.clone();
+            for v in tgd.existential_vars() {
+                extended.bind(v, Term::Const(Const::Null(*null_counter)));
+                *null_counter += 1;
+            }
+            for atom in &tgd.rhs {
+                let g = extended
+                    .ground_atom(atom)
+                    .expect("universal vars bound by match, existential by nulls");
+                if db.insert(g) {
+                    added += 1;
+                    *budget = budget.saturating_sub(1);
+                }
+            }
+        }
+    }
+    added
+}
+
+/// Run the combined chase `[P, T]` on `input` until saturation, goal
+/// discovery, or fuel exhaustion.
+///
+/// * `fuel` bounds the number of atoms the chase may add.
+/// * `goal`, when given, stops the chase as soon as the atom is present —
+///   this is what makes Theorem 1's semi-decision procedure effective: a
+///   present goal is found in finite time even when `[P,T](bθ)` is
+///   infinite.
+pub fn chase(
+    program: &Program,
+    tgds: &[Tgd],
+    input: &Database,
+    fuel: u64,
+    goal: Option<&GroundAtom>,
+) -> ChaseResult {
+    let mut db = input.clone();
+    let mut null_counter = next_free_null(&db);
+    let mut budget = fuel;
+    let mut added_total: u64 = 0;
+
+    loop {
+        if let Some(g) = goal {
+            if db.contains(g) {
+                return ChaseResult { db, status: ChaseStatus::GoalReached, added: added_total };
+            }
+        }
+        let mut added_this_round: u64 = 0;
+
+        // Rule saturation (finite, since rules add no new constants).
+        let saturated = naive::evaluate(program, &db);
+        if saturated.len() > db.len() {
+            let delta = (saturated.len() - db.len()) as u64;
+            added_this_round += delta;
+            added_total += delta;
+            budget = budget.saturating_sub(delta);
+            db = saturated;
+            if let Some(g) = goal {
+                if db.contains(g) {
+                    return ChaseResult {
+                        db,
+                        status: ChaseStatus::GoalReached,
+                        added: added_total,
+                    };
+                }
+            }
+            if budget == 0 {
+                return ChaseResult { db, status: ChaseStatus::OutOfFuel, added: added_total };
+            }
+        }
+
+        // One tgd repair pass.
+        let tgd_added = apply_tgds_once(tgds, &mut db, &mut null_counter, &mut budget);
+        added_this_round += tgd_added;
+        added_total += tgd_added;
+
+        if added_this_round == 0 {
+            return ChaseResult { db, status: ChaseStatus::Saturated, added: added_total };
+        }
+        if budget == 0 {
+            // A goal derived by the very last funded step still counts.
+            if let Some(g) = goal {
+                if db.contains(g) {
+                    return ChaseResult {
+                        db,
+                        status: ChaseStatus::GoalReached,
+                        added: added_total,
+                    };
+                }
+            }
+            return ChaseResult { db, status: ChaseStatus::OutOfFuel, added: added_total };
+        }
+    }
+}
+
+/// First null id not used by `db` (so chase-introduced nulls are fresh even
+/// if the input already contains nulls from an earlier chase).
+fn next_free_null(db: &Database) -> u32 {
+    db.active_domain()
+        .into_iter()
+        .filter_map(|c| match c {
+            Const::Null(n) => Some(n + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Theorem 1 — test `SAT(T) ∩ M(P) ⊆ M(r)` by chasing the frozen body of
+/// `r` under `[P, T]` with the frozen head as goal.
+pub fn rule_contained_with_tgds(r: &Rule, p: &Program, tgds: &[Tgd], fuel: u64) -> Proof {
+    let frozen = freeze_rule(r);
+    let result = chase(p, tgds, &frozen.body_db, fuel, Some(&frozen.goal));
+    match result.status {
+        ChaseStatus::GoalReached => Proof::Proved,
+        ChaseStatus::Saturated => {
+            // Saturated: goal is decidedly absent from [P,T](bθ).
+            debug_assert!(!result.db.contains(&frozen.goal));
+            Proof::Disproved
+        }
+        ChaseStatus::OutOfFuel => Proof::OutOfFuel,
+    }
+}
+
+/// Condition (1) of §X — `SAT(T) ∩ M(P1) ⊆ M(P2)`: every rule of `P2` must
+/// pass the Theorem-1 test against `[P1, T]`.
+pub fn models_condition(p1: &Program, p2: &Program, tgds: &[Tgd], fuel: u64) -> Proof {
+    let mut acc = Proof::Proved;
+    for r in &p2.rules {
+        acc = acc.and(rule_contained_with_tgds(r, p1, tgds, fuel));
+        if acc == Proof::Disproved {
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Uniform containment **over `SAT(T)`** (§VIII/Appendix Corollary 1):
+/// `P2 ⊑u_SAT(T) P1` holds when
+///
+/// 1. `SAT(T) ∩ M(P1) ⊆ M(P2)` — checked by [`models_condition`] — **and**
+/// 2. `P1` preserves `T` (`P1(SAT(T)) ⊆ SAT(T)`) — checked by the Fig. 3
+///    procedure.
+///
+/// Corollary 1 (appendix): with `S = SAT(T)` and `P1(S) ⊆ S`,
+/// `P2 ⊑_S P1 ⇔ S ∩ M(P1) ⊆ M(P2)`. This combined entry point returns
+/// `Proved` only when both semi-decidable steps prove out within `fuel`.
+pub fn uniformly_contains_given(
+    p1: &Program,
+    p2: &Program,
+    tgds: &[Tgd],
+    fuel: u64,
+) -> Proof {
+    let c1 = models_condition(p1, p2, tgds, fuel);
+    if c1 == Proof::Disproved {
+        return Proof::Disproved;
+    }
+    let c2 = crate::preserve::preserves_nonrecursively(p1, tgds, fuel);
+    // Note: failure of (2) does NOT refute SAT(T)-containment — Fig. 3 is a
+    // sufficient condition — so a Disproved preservation only degrades the
+    // combined verdict to OutOfFuel ("could not certify").
+    match (c1, c2) {
+        (Proof::Proved, Proof::Proved) => Proof::Proved,
+        _ => Proof::OutOfFuel,
+    }
+}
+
+/// Does `db` satisfy the tgd (§VIII)? Every lhs match must extend to an rhs
+/// match.
+pub fn satisfies_tgd(db: &Database, tgd: &Tgd) -> bool {
+    !for_each_match(&tgd.lhs, db, &Subst::new(), &mut |s| !has_extension(&tgd.rhs, db, s))
+}
+
+/// Does `db` satisfy all of `tgds`?
+pub fn satisfies_all(db: &Database, tgds: &[Tgd]) -> bool {
+    tgds.iter().all(|t| satisfies_tgd(db, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_database, parse_program, parse_rule, parse_tgd, Pred};
+
+    #[test]
+    fn example9_tgd_satisfaction() {
+        // §VIII Example 9: over the Example-2 closure DB,
+        // G(x,y) → A(y,z) ∧ A(z,x) is violated (x=4, y=2),
+        // G(x,y) → G(x,z) ∧ A(z,y) is satisfied.
+        let db = parse_database(
+            "a(1,2). a(1,4). a(4,1).
+             g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).",
+        )
+        .unwrap();
+        let t1 = parse_tgd("g(X, Y) -> a(Y, Z) & a(Z, X).").unwrap();
+        let t2 = parse_tgd("g(X, Y) -> g(X, Z) & a(Z, Y).").unwrap();
+        assert!(!satisfies_tgd(&db, &t1));
+        assert!(satisfies_tgd(&db, &t2));
+    }
+
+    #[test]
+    fn full_tgd_behaves_like_rules() {
+        // Applying a full tgd = applying its rule decomposition.
+        let tgd = parse_tgd("a(X, Y) -> b(Y, X).").unwrap();
+        let input = parse_database("a(1, 2).").unwrap();
+        let result = chase(&Program::empty(), std::slice::from_ref(&tgd), &input, 100, None);
+        assert_eq!(result.status, ChaseStatus::Saturated);
+        assert!(result.db.contains_tuple(Pred::new("b"), &[2.into(), 1.into()]));
+
+        let rules = Program::new(tgd.to_rules().unwrap());
+        let via_rules = naive::evaluate(&rules, &input);
+        assert_eq!(result.db, via_rules);
+    }
+
+    #[test]
+    fn embedded_tgd_introduces_nulls() {
+        // §VIII: applying G(x,y) → A(x,w) ∧ G(w,y) to {G(3,2)} adds
+        // A(3,δ) and G(δ,2).
+        let tgd = parse_tgd("g(X, Y) -> a(X, W) & g(W, Y).").unwrap();
+        let input = parse_database("g(3, 2).").unwrap();
+        let result = chase(&Program::empty(), &[tgd], &input, 10, None);
+        // This chase diverges (each new G(δ,2) violates again): fuel runs out.
+        assert_eq!(result.status, ChaseStatus::OutOfFuel);
+        assert!(result.db.has_nulls());
+        assert!(result.db.len() > 1);
+    }
+
+    #[test]
+    fn embedded_tgd_no_violation_no_nulls() {
+        let tgd = parse_tgd("g(X, Y) -> a(X, W).").unwrap();
+        let input = parse_database("g(1, 2). a(1, 9).").unwrap();
+        let result = chase(&Program::empty(), &[tgd], &input, 10, None);
+        assert_eq!(result.status, ChaseStatus::Saturated);
+        assert_eq!(result.db, input);
+    }
+
+    #[test]
+    fn corollary1_combined_containment() {
+        // Example 11/14 packaged: P2 ⊑u_SAT(T) P1.
+        let p1 = parse_program(
+            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
+        )
+        .unwrap();
+        let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let tgds = vec![datalog_ast::parse_tgd("g(X, Z) -> a(X, W).").unwrap()];
+        assert_eq!(uniformly_contains_given(&p1, &p2, &tgds, 10_000), Proof::Proved);
+        // Without the tgds the same containment fails outright.
+        assert_eq!(uniformly_contains_given(&p1, &p2, &[], 10_000), Proof::Disproved);
+    }
+
+    #[test]
+    fn example11_chase_proves_models_condition() {
+        // §VIII Example 11: with T = {G(x,z) → A(x,w)},
+        // SAT(T) ∩ M(P1) ⊆ M(P2).
+        let p1 = parse_program(
+            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
+        )
+        .unwrap();
+        let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let tgds = vec![parse_tgd("g(X, Z) -> a(X, W).").unwrap()];
+        assert_eq!(models_condition(&p1, &p2, &tgds, 1000), Proof::Proved);
+    }
+
+    #[test]
+    fn without_tgds_example11_fails() {
+        // Sanity: the same condition WITHOUT the tgd is refuted (and the
+        // chase saturates, so we get a definite disproof).
+        let p1 = parse_program(
+            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
+        )
+        .unwrap();
+        let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        assert_eq!(models_condition(&p1, &p2, &[], 1000), Proof::Disproved);
+    }
+
+    #[test]
+    fn theorem1_reduces_to_corollary2_without_tgds() {
+        // With T = ∅ the chase is exactly the §VI test.
+        let p1 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let r = parse_rule("g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        assert_eq!(rule_contained_with_tgds(&r, &p1, &[], 1000), Proof::Proved);
+        assert!(crate::containment::rule_contained(&r, &p1));
+    }
+
+    #[test]
+    fn proof_combinator() {
+        use Proof::*;
+        assert_eq!(Proved.and(Proved), Proved);
+        assert_eq!(Proved.and(OutOfFuel), OutOfFuel);
+        assert_eq!(OutOfFuel.and(Disproved), Disproved);
+        assert_eq!(Disproved.and(Proved), Disproved);
+        assert_eq!(OutOfFuel.and(OutOfFuel), OutOfFuel);
+    }
+
+    #[test]
+    fn goal_reached_early_in_divergent_chase() {
+        // The chase would diverge, but the goal shows up first — Theorem 1's
+        // semi-decision in action.
+        let tgd = parse_tgd("g(X, Y) -> g(Y, X).").unwrap(); // full, fine
+        let diverging = parse_tgd("p(X) -> q(X, W) & p(W).").unwrap();
+        let input = parse_database("g(1, 2). p(7).").unwrap();
+        let goal = datalog_ast::fact("g", [2, 1]);
+        let result =
+            chase(&Program::empty(), &[diverging, tgd], &input, 1_000_000, Some(&goal));
+        assert_eq!(result.status, ChaseStatus::GoalReached);
+    }
+
+    #[test]
+    fn chase_counts_added_atoms() {
+        let p = parse_program("g(X, Z) :- a(X, Z).").unwrap();
+        let input = parse_database("a(1, 2). a(3, 4).").unwrap();
+        let result = chase(&p, &[], &input, 100, None);
+        assert_eq!(result.added, 2);
+        assert_eq!(result.status, ChaseStatus::Saturated);
+    }
+
+    #[test]
+    fn nulls_are_fresh_wrt_input() {
+        let tgd = parse_tgd("g(X) -> h(X, W).").unwrap();
+        let mut input = Database::new();
+        input.insert(GroundAtom::new("g", vec![Const::Null(5)]));
+        let result = chase(&Program::empty(), &[tgd], &input, 10, None);
+        // The new null must not be δ5.
+        let h_nulls: Vec<Const> = result
+            .db
+            .relation(Pred::new("h"))
+            .map(|t| t[1])
+            .collect();
+        assert_eq!(h_nulls, vec![Const::Null(6)]);
+    }
+}

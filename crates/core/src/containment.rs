@@ -1,0 +1,279 @@
+//! Uniform containment and uniform equivalence — decidable tests (§VI).
+//!
+//! The central decidability result of the paper:
+//!
+//! * `P2 ⊑u P1 ⇔ M(P1) ⊆ M(P2)` (Proposition 2), and
+//! * `M(P1) ⊆ M(P2)` iff for every rule `r` of `P2`, `M(P1) ⊆ M(r)`, and
+//! * `M(P) ⊆ M(r)` iff `hθ ∈ P(bθ)` where θ freezes `r = h :- b`
+//!   (Corollary 2).
+//!
+//! Because there are no tgds here, the bottom-up computation of `P(bθ)` runs
+//! over the finite domain of frozen constants and always terminates — the
+//! test is a total decision procedure, unlike plain equivalence, which is
+//! undecidable (Shmueli 1986).
+
+use crate::freeze::freeze_rule;
+use datalog_ast::{validate_positive, Program, Rule, ValidationError};
+use datalog_engine::seminaive;
+
+/// Error type for containment queries on programs outside the decidable
+/// fragment.
+#[derive(Debug)]
+pub enum ContainmentError {
+    /// The program(s) failed validation (negation, unsafe rules, arities).
+    Invalid(Vec<ValidationError>),
+}
+
+impl std::fmt::Display for ContainmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainmentError::Invalid(errs) => {
+                write!(f, "containment test requires valid positive Datalog:")?;
+                for e in errs {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainmentError {}
+
+fn check(programs: &[&Program]) -> Result<(), ContainmentError> {
+    let mut errors = Vec::new();
+    for p in programs {
+        if let Err(e) = validate_positive(p) {
+            errors.extend(e);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(ContainmentError::Invalid(errors))
+    }
+}
+
+/// Test `r ⊑u P` for a single rule (§VI): freeze `r`'s body, saturate under
+/// `P`, and check whether the frozen head was derived. Always terminates.
+///
+/// Precondition (checked by the public program-level functions, asserted
+/// here): `r` and `P` are valid positive Datalog.
+pub fn rule_contained(r: &Rule, p: &Program) -> bool {
+    let frozen = freeze_rule(r);
+    // Bottom-up saturation of the canonical DB. Semi-naive and naive compute
+    // the same minimal model; semi-naive is the production path.
+    let out = seminaive::evaluate(p, &frozen.body_db);
+    out.contains(&frozen.goal)
+}
+
+/// Test uniform containment `P2 ⊑u P1` (§VI): `P1` uniformly contains `P2`
+/// iff `P1` uniformly contains every rule of `P2`.
+///
+/// ```
+/// use datalog_ast::parse_program;
+/// use datalog_optimizer::uniformly_contains;
+///
+/// // Paper Example 6: left-linear TC is uniformly contained in doubling
+/// // TC, but not conversely.
+/// let doubling = parse_program(
+///     "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
+/// ).unwrap();
+/// let left = parse_program(
+///     "g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).",
+/// ).unwrap();
+/// assert!(uniformly_contains(&doubling, &left).unwrap());
+/// assert!(!uniformly_contains(&left, &doubling).unwrap());
+/// ```
+pub fn uniformly_contains(p1: &Program, p2: &Program) -> Result<bool, ContainmentError> {
+    check(&[p1, p2])?;
+    Ok(p2.rules.iter().all(|r| rule_contained(r, p1)))
+}
+
+/// Test uniform equivalence `P1 ≡u P2` (§IV): mutual uniform containment.
+pub fn uniformly_equivalent(p1: &Program, p2: &Program) -> Result<bool, ContainmentError> {
+    Ok(uniformly_contains(p1, p2)? && uniformly_contains(p2, p1)?)
+}
+
+/// A proof that `r ⊑u P`: the canonical database, the goal, and the
+/// derivation of the goal (a concrete instance of Theorem 1's "sequence of
+/// substitutions ϕ1, …, ϕn").
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The frozen body `bθ`.
+    pub canonical_db: datalog_ast::Database,
+    /// The frozen head `hθ`.
+    pub goal: datalog_ast::GroundAtom,
+    /// A derivation of `goal` from `canonical_db` under `P`.
+    pub proof: datalog_engine::provenance::Proof,
+}
+
+/// A refutation of `r ⊑u P`: the canonical database is itself a model of
+/// `P` extending `bθ` in which `hθ` fails — the concrete counterexample
+/// the §VI test implicitly constructs.
+#[derive(Clone, Debug)]
+pub struct Refutation {
+    /// `P(bθ)` — a model of `P` containing the body but not the head.
+    pub countermodel: datalog_ast::Database,
+    /// The missing frozen head `hθ`.
+    pub missing: datalog_ast::GroundAtom,
+}
+
+/// Decide `r ⊑u P` and return evidence either way: a derivation of the
+/// frozen head (`Ok`) or the saturated countermodel (`Err`).
+pub fn rule_contained_with_evidence(r: &Rule, p: &Program) -> Result<Witness, Refutation> {
+    let frozen = freeze_rule(r);
+    let traced = datalog_engine::provenance::evaluate_traced(p, &frozen.body_db);
+    match traced.explain(&frozen.goal) {
+        Some(proof) => Ok(Witness { canonical_db: frozen.body_db, goal: frozen.goal, proof }),
+        None => Err(Refutation { countermodel: traced.db, missing: frozen.goal }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    fn doubling_tc() -> Program {
+        // P1 of Examples 1/4/6.
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap()
+    }
+
+    fn left_linear_tc() -> Program {
+        // P2 of Examples 4/6.
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap()
+    }
+
+    #[test]
+    fn evidence_witness_for_contained_rule() {
+        // Example 6's r2: the derivation goes a(x0,y0) → g(x0,y0), then the
+        // doubling rule combines it with g(y0,z0).
+        let p1 = doubling_tc();
+        let r2 = datalog_ast::parse_rule("g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        let w = rule_contained_with_evidence(&r2, &p1).expect("contained");
+        assert_eq!(w.goal.to_string(), "g('X, 'Z)");
+        assert_eq!(w.proof.conclusion, w.goal);
+        assert!(w.proof.size() >= 2, "needs both rules: {}", w.proof);
+        assert!(w.canonical_db.len() == 2);
+    }
+
+    #[test]
+    fn evidence_refutation_for_uncontained_rule() {
+        // Example 6 reversed: the doubling rule against the left-linear
+        // program; the countermodel is the frozen body itself (nothing
+        // derivable) and the head is missing.
+        let p2 = left_linear_tc();
+        let s = datalog_ast::parse_rule("g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let r = rule_contained_with_evidence(&s, &p2).expect_err("not contained");
+        assert_eq!(r.missing.to_string(), "g('X, 'Z)");
+        assert_eq!(r.countermodel.len(), 2, "no new atoms derivable");
+        assert!(!r.countermodel.contains(&r.missing));
+    }
+
+    #[test]
+    fn example6_p2_contained_in_p1() {
+        // §VI Example 6: P2 ⊑u P1 …
+        assert!(uniformly_contains(&doubling_tc(), &left_linear_tc()).unwrap());
+        // … but P1 ⋢u P2: the doubling rule's frozen body
+        // {G(x0,y0), G(y0,z0)} derives nothing under P2.
+        assert!(!uniformly_contains(&left_linear_tc(), &doubling_tc()).unwrap());
+        assert!(!uniformly_equivalent(&doubling_tc(), &left_linear_tc()).unwrap());
+    }
+
+    #[test]
+    fn example5_adding_a_rule_preserves_containment() {
+        // §IV Example 5: P2 = P1 + {A(x,z) :- A(x,y), G(y,z)}.
+        // Every rule of P1 is a rule of P2, so P1 ⊑u P2.
+        let p1 = doubling_tc();
+        let p2 = parse_program(
+            "g(X, Z) :- a(X, Z).
+             g(X, Z) :- g(X, Y), g(Y, Z).
+             a(X, Z) :- a(X, Y), g(Y, Z).",
+        )
+        .unwrap();
+        assert!(uniformly_contains(&p2, &p1).unwrap());
+        // And not conversely: the new rule derives A-atoms P1 never can.
+        assert!(!uniformly_contains(&p1, &p2).unwrap());
+    }
+
+    #[test]
+    fn example7_redundant_atom_detected() {
+        // §VI Example 7: with the atom A(w,y) deleted, the single-rule
+        // programs are uniformly equivalent.
+        let p1 = parse_program(
+            "g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).",
+        )
+        .unwrap();
+        let p2 =
+            parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
+        // Body of P2's rule ⊆ body of P1's rule ⇒ P1 ⊑u P2 trivially.
+        assert!(uniformly_contains(&p2, &p1).unwrap());
+        // The non-trivial direction shown in the paper: P2 ⊑u P1 (two chase
+        // steps through G(x0, z0, z0)).
+        assert!(uniformly_contains(&p1, &p2).unwrap());
+        assert!(uniformly_equivalent(&p1, &p2).unwrap());
+    }
+
+    #[test]
+    fn example11_a_y_w_not_redundant_under_uniform_equivalence() {
+        // §VIII Example 11: P2 (plain doubling) is NOT uniformly contained
+        // in P1 (doubling guarded by A(y,w)) — that needs the tgd machinery.
+        let p1 = parse_program(
+            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
+        )
+        .unwrap();
+        let p2 = doubling_tc();
+        assert!(uniformly_contains(&p2, &p1).unwrap(), "P1 ⊑u P2 (bodies shrink)");
+        assert!(!uniformly_contains(&p1, &p2).unwrap(), "P2 ⋢u P1 without tgds");
+    }
+
+    #[test]
+    fn identical_programs_are_uniformly_equivalent() {
+        let p = doubling_tc();
+        assert!(uniformly_equivalent(&p, &p).unwrap());
+    }
+
+    #[test]
+    fn rule_with_constants() {
+        // Constants in rules participate in the freeze correctly.
+        let p1 = parse_program("g(X) :- a(X, 3). g(X) :- b(X).").unwrap();
+        let p2 = parse_program("g(X) :- a(X, 3).").unwrap();
+        assert!(uniformly_contains(&p1, &p2).unwrap());
+        assert!(!uniformly_contains(&p2, &p1).unwrap());
+    }
+
+    #[test]
+    fn negation_is_rejected() {
+        let p1 = parse_program("p(X) :- q(X), !r(X).").unwrap();
+        let p2 = parse_program("p(X) :- q(X).").unwrap();
+        assert!(matches!(
+            uniformly_contains(&p2, &p1),
+            Err(ContainmentError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_contains_nothing_but_itself() {
+        let empty = Program::empty();
+        let p = doubling_tc();
+        assert!(uniformly_contains(&p, &empty).unwrap());
+        assert!(!uniformly_contains(&empty, &p).unwrap());
+        assert!(uniformly_equivalent(&empty, &empty).unwrap());
+    }
+
+    #[test]
+    fn subset_program_is_contained() {
+        // A program uniformly contains any subset of its rules.
+        let p = doubling_tc();
+        let sub = Program::new(vec![p.rules[1].clone()]);
+        assert!(uniformly_contains(&p, &sub).unwrap());
+    }
+
+    #[test]
+    fn renamed_variables_do_not_matter() {
+        let p1 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let p2 = parse_program("g(U, V) :- a(U, V). g(A, C) :- g(A, B), g(B, C).").unwrap();
+        assert!(uniformly_equivalent(&p1, &p2).unwrap());
+    }
+}

@@ -1,0 +1,153 @@
+//! Freezing rules into canonical databases (§VI).
+//!
+//! To test `r ⊑u P` the paper considers "the atoms of b as an input DB for
+//! P": each variable of `r` is mapped by a one-to-one substitution θ to "a
+//! distinct constant that is not already in r". We realise θ with the
+//! dedicated constant kind [`Const::Frozen`], whose payload is the variable
+//! itself — one-to-one by construction, and disjoint from every source
+//! constant by the type system rather than by a runtime freshness check.
+
+use datalog_ast::{Atom, Const, Database, GroundAtom, Rule, Subst, Term, Tgd, Var};
+
+/// The freezing substitution θ for an iterator of variables.
+pub fn freezing_subst(vars: impl IntoIterator<Item = Var>) -> Subst {
+    let mut s = Subst::new();
+    for v in vars {
+        s.bind(v, Term::Const(Const::Frozen(v)));
+    }
+    s
+}
+
+/// A frozen rule: the canonical database `bθ` and the goal atom `hθ`.
+#[derive(Clone, Debug)]
+pub struct FrozenRule {
+    /// The instantiated body — the canonical database.
+    pub body_db: Database,
+    /// The instantiated head — the atom whose derivation witnesses
+    /// uniform containment (Corollary 2).
+    pub goal: GroundAtom,
+}
+
+/// Freeze a rule (§VI). The rule must be positive and range-restricted —
+/// both are guaranteed by `validate_positive`, which the public optimizer
+/// entry points run first.
+///
+/// # Panics
+/// Panics if the rule contains negated literals (freezing is only defined
+/// for the paper's positive fragment).
+pub fn freeze_rule(rule: &Rule) -> FrozenRule {
+    assert!(rule.is_positive(), "freeze_rule requires a positive rule");
+    let theta = freezing_subst(rule.vars());
+    let body_db = Database::from_atoms(rule.positive_body().map(|a| {
+        theta
+            .ground_atom(a)
+            .expect("freezing substitution binds every body variable")
+    }));
+    let goal = theta
+        .ground_atom(&rule.head)
+        .expect("freezing substitution binds every head variable");
+    FrozenRule { body_db, goal }
+}
+
+/// Freeze the left-hand side of a tgd (used by the Fig. 3 preservation test,
+/// §IX: "let θ map the universally quantified variables of τ to distinct
+/// constants"). Only universal variables are frozen; existential variables
+/// never occur in the lhs.
+pub fn freeze_tgd_lhs(tgd: &Tgd) -> (Vec<GroundAtom>, Subst) {
+    let theta = freezing_subst(tgd.universal_vars());
+    let atoms = tgd
+        .lhs
+        .iter()
+        .map(|a| theta.ground_atom(a).expect("lhs variables are all universal"))
+        .collect();
+    (atoms, theta)
+}
+
+/// Freeze an arbitrary conjunction of atoms with the given substitution
+/// already fixed for some variables, freezing the rest. Returns the ground
+/// atoms and the extended substitution.
+pub fn freeze_atoms_with(atoms: &[Atom], base: &Subst) -> (Vec<GroundAtom>, Subst) {
+    let mut theta = base.clone();
+    for a in atoms {
+        for v in a.vars() {
+            if theta.get(v).is_none() {
+                theta.bind(v, Term::Const(Const::Frozen(v)));
+            }
+        }
+    }
+    let ground = atoms
+        .iter()
+        .map(|a| theta.ground_atom(a).expect("all variables frozen"))
+        .collect();
+    (ground, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_rule, parse_tgd, Pred};
+
+    #[test]
+    fn freeze_example6_rule() {
+        // §VI Example 6, rule r2 of P2: G(x,z) :- A(x,y), G(y,z).
+        // Instantiated body is {A(x0,y0), G(y0,z0)}, head G(x0,z0).
+        let r = parse_rule("g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        let frozen = freeze_rule(&r);
+        assert_eq!(frozen.body_db.len(), 2);
+        let x0 = Const::Frozen(Var::new("X"));
+        let y0 = Const::Frozen(Var::new("Y"));
+        let z0 = Const::Frozen(Var::new("Z"));
+        assert!(frozen.body_db.contains_tuple(Pred::new("a"), &[x0, y0]));
+        assert!(frozen.body_db.contains_tuple(Pred::new("g"), &[y0, z0]));
+        assert_eq!(frozen.goal, GroundAtom::new("g", vec![x0, z0]));
+    }
+
+    #[test]
+    fn frozen_constants_are_fresh_by_construction() {
+        // A rule containing the constant 3 (§II allows constants): the
+        // frozen variable constants can never collide with it.
+        let r = parse_rule("g(X, 3) :- a(X, 3).").unwrap();
+        let frozen = freeze_rule(&r);
+        let x0 = Const::Frozen(Var::new("X"));
+        assert!(frozen.body_db.contains_tuple(Pred::new("a"), &[x0, Const::Int(3)]));
+        assert_eq!(frozen.goal.tuple[1], Const::Int(3));
+    }
+
+    #[test]
+    fn repeated_variables_freeze_to_equal_constants() {
+        let r = parse_rule("g(X) :- a(X, X).").unwrap();
+        let frozen = freeze_rule(&r);
+        let x0 = Const::Frozen(Var::new("X"));
+        assert!(frozen.body_db.contains_tuple(Pred::new("a"), &[x0, x0]));
+    }
+
+    #[test]
+    fn duplicate_body_atoms_collapse_in_the_database() {
+        let r = parse_rule("g(X) :- a(X), a(X).").unwrap();
+        let frozen = freeze_rule(&r);
+        assert_eq!(frozen.body_db.len(), 1);
+    }
+
+    #[test]
+    fn freeze_tgd_lhs_only_universals() {
+        let t = parse_tgd("g(X, Z) -> a(X, W).").unwrap();
+        let (atoms, theta) = freeze_tgd_lhs(&t);
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(
+            atoms[0],
+            GroundAtom::new("g", vec![Const::Frozen(Var::new("X")), Const::Frozen(Var::new("Z"))])
+        );
+        // The existential variable W is NOT frozen.
+        assert!(theta.get(Var::new("W")).is_none());
+    }
+
+    #[test]
+    fn freeze_atoms_with_respects_base() {
+        let t = parse_tgd("g(X, Y) & g(Y, Z) -> a(Y, W).").unwrap();
+        let base = Subst::singleton(Var::new("Y"), Term::Const(Const::Int(42)));
+        let (atoms, theta) = freeze_atoms_with(&t.lhs, &base);
+        assert_eq!(atoms[0].tuple[1], Const::Int(42));
+        assert_eq!(atoms[1].tuple[0], Const::Int(42));
+        assert_eq!(theta.get(Var::new("X")), Some(Term::Const(Const::Frozen(Var::new("X")))));
+    }
+}

@@ -1,0 +1,505 @@
+//! Incremental maintenance of a materialised fixpoint.
+//!
+//! **Insertions** exploit monotonicity (§X uses it explicitly: "adding more
+//! atoms to the input does not remove any atom from the output"): the new
+//! facts seed a semi-naive delta and only their consequences are computed.
+//!
+//! **Deletions** are non-monotone and use DRed (delete-and-rederive,
+//! Gupta–Mumick–Subrahmanian 1993): first *overdelete* everything with a
+//! derivation through a deleted atom (a delta-driven sweep), then
+//! *rederive* overdeleted atoms that still have alternative support from
+//! the surviving database. To keep base facts and derived atoms apart, the
+//! materialisation remembers the base (`base`): an overdeleted atom that is
+//! still in the base is always rederived.
+
+use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use crate::stats::Stats;
+use datalog_ast::{Database, GroundAtom, Program};
+
+/// A materialised fixpoint that can absorb insertions and deletions
+/// incrementally.
+///
+/// ```
+/// use datalog_ast::{fact, parse_database, parse_program};
+/// use datalog_engine::Materialized;
+///
+/// let tc = parse_program(
+///     "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
+/// ).unwrap();
+/// let mut m = Materialized::new(tc, &parse_database("a(1, 2).").unwrap());
+///
+/// m.insert([fact("a", [2, 3])]);
+/// assert!(m.database().contains(&fact("g", [1, 3])));
+///
+/// m.remove([fact("a", [1, 2])]);
+/// assert!(!m.database().contains(&fact("g", [1, 3])));
+/// assert!(m.database().contains(&fact("g", [2, 3])));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Materialized {
+    program: Program,
+    /// The asserted base facts (EDB and any seeded IDB atoms).
+    base: Database,
+    /// The saturated database (base ∪ derived).
+    db: Database,
+}
+
+impl Materialized {
+    /// Saturate `input` under `program` (semi-naive) and keep the result
+    /// ready for incremental updates. Positive programs only.
+    pub fn new(program: Program, input: &Database) -> Materialized {
+        assert!(program.is_positive(), "incremental maintenance requires a positive program");
+        let db = crate::seminaive::evaluate(&program, input);
+        Materialized { program, base: input.clone(), db }
+    }
+
+    /// The current fixpoint.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The asserted base facts.
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Insert facts and propagate their consequences. Returns the number of
+    /// atoms added (inserted facts that were new, plus derived atoms).
+    ///
+    /// Cost is proportional to the consequences of the *delta*, not to the
+    /// size of the existing database — the whole point of the method.
+    pub fn insert(&mut self, facts: impl IntoIterator<Item = GroundAtom>) -> u64 {
+        self.insert_with_stats(facts).0
+    }
+
+    /// [`Materialized::insert`], also returning evaluation statistics.
+    pub fn insert_with_stats(
+        &mut self,
+        facts: impl IntoIterator<Item = GroundAtom>,
+    ) -> (u64, Stats) {
+        let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
+        let mut stats = Stats::default();
+        let mut added: u64 = 0;
+
+        // Seed delta with the genuinely new facts.
+        let mut delta = Database::new();
+        for f in facts {
+            self.base.insert(f.clone());
+            if !self.db.contains(&f) {
+                self.db.insert(f.clone());
+                delta.insert(f);
+                added += 1;
+            }
+        }
+
+        // Delta-driven rounds: any rule whose body mentions a predicate with
+        // delta tuples (EDB or IDB — inserted facts may be either) can fire.
+        while !delta.is_empty() {
+            stats.iterations += 1;
+            let mut derived = Vec::new();
+            {
+                let mut idx = IndexSet::new(&self.db);
+                for plan in &plans {
+                    let delta_positions: Vec<usize> = plan
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| !a.negated && delta.relation_len(a.pred) > 0)
+                        .map(|(i, _)| i)
+                        .collect();
+                    for &pos in &delta_positions {
+                        let order = plan.greedy_order(&self.db);
+                        join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
+                            stats.matches += 1;
+                            derived.push(instantiate_head(plan, assignment));
+                        });
+                    }
+                }
+                stats.probes += idx.probes;
+            }
+            let mut next_delta = Database::new();
+            for atom in derived {
+                if !self.db.contains(&atom) {
+                    self.db.insert(atom.clone());
+                    next_delta.insert(atom);
+                    stats.derivations += 1;
+                    added += 1;
+                }
+            }
+            delta = next_delta;
+        }
+        (added, stats)
+    }
+}
+
+impl Materialized {
+    /// Delete base facts and propagate: DRed overdeletion followed by
+    /// rederivation. Returns the net number of atoms removed from the
+    /// fixpoint.
+    pub fn remove(&mut self, facts: impl IntoIterator<Item = GroundAtom>) -> u64 {
+        self.remove_with_stats(facts).0
+    }
+
+    /// [`Materialized::remove`], also returning work counters (probes and
+    /// matches cover both the overdeletion sweep and the rederivation).
+    pub fn remove_with_stats(
+        &mut self,
+        facts: impl IntoIterator<Item = GroundAtom>,
+    ) -> (u64, Stats) {
+        let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
+        let mut stats = Stats::default();
+
+        // Phase 1 — overdelete. `overdeleted` accumulates every atom with
+        // some derivation (over the OLD fixpoint) passing through a deleted
+        // or overdeleted atom.
+        let mut delta = Database::new();
+        for f in facts {
+            if self.base.remove(&f) && self.db.contains(&f) {
+                delta.insert(f);
+            }
+        }
+        let mut overdeleted = delta.clone();
+        // The sweep runs against the old fixpoint snapshot.
+        let old_db = self.db.clone();
+        while !delta.is_empty() {
+            stats.iterations += 1;
+            let mut hit = Vec::new();
+            {
+                let mut idx = IndexSet::new(&old_db);
+                for plan in &plans {
+                    let delta_positions: Vec<usize> = plan
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| !a.negated && delta.relation_len(a.pred) > 0)
+                        .map(|(i, _)| i)
+                        .collect();
+                    for &pos in &delta_positions {
+                        let order = plan.greedy_order(&old_db);
+                        join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
+                            stats.matches += 1;
+                            hit.push(instantiate_head(plan, assignment));
+                        });
+                    }
+                }
+                stats.probes += idx.probes;
+            }
+            let mut next_delta = Database::new();
+            for atom in hit {
+                if !overdeleted.contains(&atom) {
+                    overdeleted.insert(atom.clone());
+                    next_delta.insert(atom);
+                }
+            }
+            delta = next_delta;
+        }
+
+        // Remove the overdeleted region from the fixpoint.
+        for atom in overdeleted.iter() {
+            self.db.remove(&atom);
+        }
+
+        // Phase 2 — rederive. Base facts that were overdeleted (but not
+        // deleted) come straight back; derived atoms come back if some rule
+        // instantiation over the surviving database produces them. Iterate
+        // to fixpoint (restorations can enable further restorations).
+        let mut pending: Vec<GroundAtom> = overdeleted.iter().collect();
+        loop {
+            let mut restored_any = false;
+            let mut still_pending = Vec::new();
+            for atom in pending {
+                let back = self.base.contains(&atom)
+                    || self.rederivable(&plans, &atom, &mut stats);
+                if back {
+                    self.db.insert(atom);
+                    restored_any = true;
+                } else {
+                    still_pending.push(atom);
+                }
+            }
+            pending = still_pending;
+            if !restored_any || pending.is_empty() {
+                break;
+            }
+        }
+
+        let removed = old_db.len() - self.db.len();
+        (removed as u64, stats)
+    }
+
+    /// Does some rule instantiation over the current database derive `atom`?
+    fn rederivable(&self, plans: &[RulePlan], atom: &GroundAtom, stats: &mut Stats) -> bool {
+        for (plan, rule) in plans.iter().zip(self.program.rules.iter()) {
+            if plan.head.pred != atom.pred {
+                continue;
+            }
+            let Some(head_subst) = datalog_ast::match_atom(&rule.head, atom) else {
+                continue;
+            };
+            if body_satisfiable(rule, &head_subst, &self.db, stats) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Backtracking satisfiability of a rule body under a partial substitution.
+fn body_satisfiable(
+    rule: &datalog_ast::Rule,
+    subst: &datalog_ast::Subst,
+    db: &Database,
+    stats: &mut Stats,
+) -> bool {
+    fn rec(
+        atoms: &[&datalog_ast::Atom],
+        subst: &datalog_ast::Subst,
+        db: &Database,
+        stats: &mut Stats,
+    ) -> bool {
+        let Some((first, rest)) = atoms.split_first() else {
+            return true;
+        };
+        let pattern = subst.apply_atom(first);
+        for tuple in db.relation(pattern.pred) {
+            stats.probes += 1;
+            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            let mut s = subst.clone();
+            if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, &s, db, stats) {
+                return true;
+            }
+        }
+        false
+    }
+    let body: Vec<&datalog_ast::Atom> = rule.positive_body().collect();
+    rec(&body, subst, db, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{fact, parse_database, parse_program, Pred};
+
+    fn tc() -> Program {
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch() {
+        let edb = parse_database("a(1,2). a(2,3).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        m.insert([fact("a", [3, 4]), fact("a", [4, 5])]);
+
+        let full_edb = parse_database("a(1,2). a(2,3). a(3,4). a(4,5).").unwrap();
+        let scratch = crate::seminaive::evaluate(&tc(), &full_edb);
+        assert_eq!(m.database(), &scratch);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_noops() {
+        let edb = parse_database("a(1,2).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        let added = m.insert([fact("a", [1, 2]), fact("g", [1, 2])]);
+        assert_eq!(added, 0);
+    }
+
+    #[test]
+    fn inserting_idb_facts_propagates() {
+        // Uniform semantics: a seeded g-atom composes with existing ones.
+        let edb = parse_database("a(1,2).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        let added = m.insert([fact("g", [2, 7])]);
+        assert!(added >= 2); // g(2,7) itself plus g(1,7)
+        assert!(m.database().contains(&fact("g", [1, 7])));
+    }
+
+    #[test]
+    fn bridge_edge_connects_components() {
+        // Two chains; the inserted bridge must produce all cross pairs.
+        let edb = parse_database("a(1,2). a(2,3). a(11,12). a(12,13).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        let before = m.database().relation_len(Pred::new("g"));
+        m.insert([fact("a", [3, 11])]);
+        let after = m.database().relation_len(Pred::new("g"));
+        assert!(after > before + 1);
+        assert!(m.database().contains(&fact("g", [1, 13])));
+
+        let full = parse_database("a(1,2). a(2,3). a(11,12). a(12,13). a(3,11).").unwrap();
+        assert_eq!(m.database(), &crate::seminaive::evaluate(&tc(), &full));
+    }
+
+    #[test]
+    fn incremental_work_is_delta_proportional() {
+        // Insert one edge at the END of a long chain under the LEFT-linear
+        // program: a(n, n+1) only creates suffix→(n+1) pairs via single
+        // firings; the delta work must be far below recomputation.
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        let n = 60i64;
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("a({}, {}).", i, i + 1));
+        }
+        let edb = parse_database(&src).unwrap();
+        let mut m = Materialized::new(p.clone(), &edb);
+        let (_, inc_stats) = m.insert_with_stats([fact("a", [n, n + 1])]);
+
+        let mut full_src = src;
+        full_src.push_str(&format!("a({}, {}).", n, n + 1));
+        let full_edb = parse_database(&full_src).unwrap();
+        let (scratch, full_stats) = crate::seminaive::evaluate_with_stats(&p, &full_edb);
+        assert_eq!(m.database(), &scratch);
+        assert!(
+            inc_stats.matches * 4 < full_stats.matches,
+            "incremental {} vs full {}",
+            inc_stats.matches,
+            full_stats.matches
+        );
+    }
+
+    #[test]
+    fn repeated_inserts_stay_consistent() {
+        let mut m = Materialized::new(tc(), &Database::new());
+        for i in 0..10i64 {
+            m.insert([fact("a", [i, i + 1])]);
+        }
+        let full: String = (0..10).map(|i| format!("a({}, {}).", i, i + 1)).collect();
+        let scratch = crate::seminaive::evaluate(&tc(), &parse_database(&full).unwrap());
+        assert_eq!(m.database(), &scratch);
+    }
+}
+
+#[cfg(test)]
+mod deletion_tests {
+    use super::*;
+    use datalog_ast::{fact, parse_database, parse_program, Program};
+
+    fn tc() -> Program {
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap()
+    }
+
+    fn scratch(p: &Program, base: &Database) -> Database {
+        crate::seminaive::evaluate(p, base)
+    }
+
+    #[test]
+    fn remove_edge_from_chain() {
+        let base = parse_database("a(1,2). a(2,3). a(3,4).").unwrap();
+        let mut m = Materialized::new(tc(), &base);
+        let removed = m.remove([fact("a", [2, 3])]);
+        assert!(removed > 1, "edge plus dependent closure atoms");
+        let mut expected_base = base.clone();
+        expected_base.remove(&fact("a", [2, 3]));
+        assert_eq!(m.database(), &scratch(&tc(), &expected_base));
+        assert!(!m.database().contains(&fact("g", [1, 4])));
+        assert!(m.database().contains(&fact("g", [3, 4])));
+    }
+
+    #[test]
+    fn rederivation_via_alternative_path() {
+        // Two parallel paths 1→2; deleting one keeps g(1,2) derivable.
+        let base = parse_database("a(1,2). a(1,9). a(9,2). a(2,3).").unwrap();
+        let mut m = Materialized::new(tc(), &base);
+        m.remove([fact("a", [1, 2])]);
+        let mut eb = base.clone();
+        eb.remove(&fact("a", [1, 2]));
+        assert_eq!(m.database(), &scratch(&tc(), &eb));
+        // g(1,2) survives through 1→9→2.
+        assert!(m.database().contains(&fact("g", [1, 2])));
+        assert!(m.database().contains(&fact("g", [1, 3])));
+    }
+
+    #[test]
+    fn remove_nonexistent_is_noop() {
+        let base = parse_database("a(1,2).").unwrap();
+        let mut m = Materialized::new(tc(), &base);
+        let before = m.database().clone();
+        assert_eq!(m.remove([fact("a", [7, 8])]), 0);
+        // Removing a derived (non-base) atom is also a no-op.
+        assert_eq!(m.remove([fact("g", [1, 2])]), 0);
+        assert_eq!(m.database(), &before);
+    }
+
+    #[test]
+    fn remove_then_insert_round_trips() {
+        let base = parse_database("a(1,2). a(2,3). a(3,4). a(4,5).").unwrap();
+        let mut m = Materialized::new(tc(), &base);
+        let original = m.database().clone();
+        m.remove([fact("a", [3, 4])]);
+        m.insert([fact("a", [3, 4])]);
+        assert_eq!(m.database(), &original);
+    }
+
+    #[test]
+    fn seeded_idb_fact_can_be_removed() {
+        let base = parse_database("a(1,2). g(2, 9).").unwrap();
+        let mut m = Materialized::new(tc(), &base);
+        assert!(m.database().contains(&fact("g", [1, 9])));
+        m.remove([fact("g", [2, 9])]);
+        let eb = parse_database("a(1,2).").unwrap();
+        assert_eq!(m.database(), &scratch(&tc(), &eb));
+        assert!(!m.database().contains(&fact("g", [1, 9])));
+    }
+
+    #[test]
+    fn random_deletion_stream_matches_scratch() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut base = Database::new();
+            for _ in 0..25 {
+                base.insert(fact("a", [rng.gen_range(0..8), rng.gen_range(0..8)]));
+            }
+            let mut m = Materialized::new(p.clone(), &base);
+            // Interleave deletions and insertions.
+            for step in 0..12 {
+                let x = rng.gen_range(0..8);
+                let y = rng.gen_range(0..8);
+                let f = fact("a", [x, y]);
+                if step % 3 == 0 {
+                    base.insert(f.clone());
+                    m.insert([f]);
+                } else {
+                    base.remove(&f);
+                    m.remove([f]);
+                }
+                assert_eq!(
+                    m.database(),
+                    &crate::seminaive::evaluate(&p, &base),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_work_is_delta_proportional_on_far_edge() {
+        // Delete the LAST edge of a long chain (left-linear program):
+        // overdeletion touches only pairs ending at the tail.
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
+        let n = 60i64;
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("a({}, {}).", i, i + 1));
+        }
+        let base = parse_database(&src).unwrap();
+        let mut m = Materialized::new(p.clone(), &base);
+        let (_, del_stats) = m.remove_with_stats([fact("a", [n - 1, n])]);
+
+        let mut eb = base.clone();
+        eb.remove(&fact("a", [n - 1, n]));
+        let (scratch_db, scratch_stats) = crate::seminaive::evaluate_with_stats(&p, &eb);
+        assert_eq!(m.database(), &scratch_db);
+        assert!(
+            del_stats.matches < scratch_stats.matches,
+            "incremental deletion {} vs recompute {}",
+            del_stats.matches,
+            scratch_stats.matches
+        );
+    }
+}

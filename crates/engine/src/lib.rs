@@ -1,0 +1,39 @@
+//! # datalog-engine
+//!
+//! Bottom-up evaluation of Datalog programs — the computational substrate of
+//! the `sagiv-datalog` reproduction of *"Optimizing Datalog Programs"*
+//! (Sagiv, PODS 1987).
+//!
+//! * [`naive`] — the paper's §III semantics taken literally: repeat full
+//!   rule instantiation until fixpoint. Also provides the non-recursive
+//!   single application `Pⁿ(d)` of §IX ([`naive::apply_once`]).
+//! * [`seminaive`] — delta-driven evaluation; same fixpoint, asymptotically
+//!   less rediscovery. This is the engine the optimizer's chase runs on.
+//! * [`magic`] — the generalized magic-sets query rewriting the paper cites
+//!   as its motivating consumer (§I).
+//! * [`stratified`] — stratified-negation evaluation (the §XII extension).
+//! * [`plan`] — compiled rule plans, on-demand hash indices, and the
+//!   backtracking join executor shared by all evaluators.
+//! * [`stats`] — work counters (probes ≈ joins, derivations, rounds) that
+//!   make the paper's "fewer joins" claim measurable.
+
+#![warn(rust_2018_idioms)]
+
+pub mod incremental;
+pub mod magic;
+pub mod naive;
+pub mod plan;
+pub mod provenance;
+pub mod qsq;
+pub mod scc_eval;
+pub mod seminaive;
+pub mod stats;
+pub mod stratified;
+
+pub use incremental::Materialized;
+pub use magic::{answer, answer_with_stats, magic_transform, MagicProgram};
+pub use naive::apply_once;
+pub use provenance::{evaluate_traced, Justification, Proof, Traced};
+pub use plan::{instantiate_head, join_body, IndexSet, RulePlan};
+pub use stats::Stats;
+pub use stratified::NotStratifiable;

@@ -1,0 +1,226 @@
+//! Why-provenance: derivation trees for bottom-up evaluation.
+//!
+//! §III describes evaluation as repeated rule instantiation; this module
+//! records *which* instantiations fired, so that any derived atom can be
+//! explained by a proof tree grounded in the input database. The optimizer
+//! uses the same notion implicitly — Theorem 1's proof manipulates "a
+//! sequence of substitutions ϕ1, …, ϕn" — and surfacing it makes
+//! containment verdicts auditable: `explain` turns "the frozen head was
+//! derived" into the actual derivation.
+
+use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use datalog_ast::{Database, GroundAtom, Program, Subst, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How one atom was obtained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Justification {
+    /// Present in the input database.
+    Input,
+    /// Derived by instantiating rule `rule_idx` with `subst`; `premises`
+    /// are the instantiated body atoms.
+    Rule { rule_idx: usize, subst: Subst, premises: Vec<GroundAtom> },
+}
+
+/// The result of a provenance-tracking evaluation: the fixpoint plus one
+/// (first-found) justification per atom.
+#[derive(Clone, Debug)]
+pub struct Traced {
+    pub db: Database,
+    justifications: HashMap<GroundAtom, Justification>,
+}
+
+impl Traced {
+    /// The recorded justification for `atom`, if it is in the fixpoint.
+    pub fn justification(&self, atom: &GroundAtom) -> Option<&Justification> {
+        self.justifications.get(atom)
+    }
+
+    /// Build the full proof tree for `atom`. Returns `None` if the atom is
+    /// not in the fixpoint. The tree is finite because justifications are
+    /// recorded in derivation order: premises always precede conclusions.
+    pub fn explain(&self, atom: &GroundAtom) -> Option<Proof> {
+        let j = self.justifications.get(atom)?;
+        let node = match j {
+            Justification::Input => Proof {
+                conclusion: atom.clone(),
+                rule_idx: None,
+                premises: Vec::new(),
+            },
+            Justification::Rule { rule_idx, premises, .. } => Proof {
+                conclusion: atom.clone(),
+                rule_idx: Some(*rule_idx),
+                premises: premises
+                    .iter()
+                    .map(|p| self.explain(p).expect("premise was derived earlier"))
+                    .collect(),
+            },
+        };
+        Some(node)
+    }
+}
+
+/// A proof tree: the conclusion, the rule that fired (if not input), and
+/// recursively-justified premises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proof {
+    pub conclusion: GroundAtom,
+    /// `None` for input atoms.
+    pub rule_idx: Option<usize>,
+    pub premises: Vec<Proof>,
+}
+
+impl Proof {
+    /// Depth of the tree (input atoms have depth 0).
+    pub fn depth(&self) -> usize {
+        self.premises.iter().map(Proof::depth).max().map_or(0, |d| d + 1)
+    }
+
+    /// Total number of rule applications in the tree.
+    pub fn size(&self) -> usize {
+        usize::from(self.rule_idx.is_some())
+            + self.premises.iter().map(Proof::size).sum::<usize>()
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for _ in 0..indent {
+            write!(f, "  ")?;
+        }
+        match self.rule_idx {
+            None => writeln!(f, "{}  [input]", self.conclusion)?,
+            Some(r) => writeln!(f, "{}  [rule {r}]", self.conclusion)?,
+        }
+        for p in &self.premises {
+            p.fmt_indented(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// Evaluate `program` on `input` (naive rounds, same fixpoint as
+/// `naive::evaluate`) recording one justification per derived atom.
+pub fn evaluate_traced(program: &Program, input: &Database) -> Traced {
+    assert!(program.is_positive(), "provenance tracking requires a positive program");
+    let plans: Vec<RulePlan> = program.rules.iter().map(RulePlan::compile).collect();
+    let mut db = input.clone();
+    let mut justifications: HashMap<GroundAtom, Justification> = input
+        .iter()
+        .map(|a| (a, Justification::Input))
+        .collect();
+
+    loop {
+        let mut new: Vec<(GroundAtom, Justification)> = Vec::new();
+        {
+            let mut idx = IndexSet::new(&db);
+            for (rule_idx, plan) in plans.iter().enumerate() {
+                let order = plan.greedy_order(&db);
+                join_body(plan, &order, &mut idx, None, |assignment| {
+                    let head = instantiate_head(plan, assignment);
+                    if db.contains(&head) {
+                        return;
+                    }
+                    // Reconstruct the substitution and premises.
+                    let mut subst = Subst::new();
+                    for (slot, var) in plan.vars.iter().enumerate() {
+                        if let Some(c) = assignment[slot] {
+                            subst.bind(*var, Term::Const(c));
+                        }
+                    }
+                    let premises: Vec<GroundAtom> = program.rules[rule_idx]
+                        .positive_body()
+                        .map(|a| subst.ground_atom(a).expect("body fully bound"))
+                        .collect();
+                    new.push((head, Justification::Rule { rule_idx, subst, premises }));
+                });
+            }
+        }
+        let mut changed = false;
+        for (atom, j) in new {
+            if db.insert(atom.clone()) {
+                justifications.entry(atom).or_insert(j);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Traced { db, justifications }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{fact, parse_database, parse_program};
+
+    fn tc() -> Program {
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap()
+    }
+
+    #[test]
+    fn fixpoint_matches_naive() {
+        let edb = parse_database("a(1,2). a(2,3). a(3,4).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        assert_eq!(traced.db, crate::naive::evaluate(&tc(), &edb));
+    }
+
+    #[test]
+    fn input_atoms_are_justified_as_input() {
+        let edb = parse_database("a(1,2).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        assert_eq!(traced.justification(&fact("a", [1, 2])), Some(&Justification::Input));
+    }
+
+    #[test]
+    fn derived_atom_has_rule_justification() {
+        let edb = parse_database("a(1,2).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        match traced.justification(&fact("g", [1, 2])) {
+            Some(Justification::Rule { rule_idx, premises, .. }) => {
+                assert_eq!(*rule_idx, 0);
+                assert_eq!(premises, &vec![fact("a", [1, 2])]);
+            }
+            other => panic!("unexpected justification {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proof_tree_shape() {
+        let edb = parse_database("a(1,2). a(2,3).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        let proof = traced.explain(&fact("g", [1, 3])).unwrap();
+        // g(1,3) from rule 1 with premises g(1,2), g(2,3), each from rule 0.
+        assert_eq!(proof.rule_idx, Some(1));
+        assert_eq!(proof.premises.len(), 2);
+        assert_eq!(proof.depth(), 2);
+        assert_eq!(proof.size(), 3); // rule 1 once, rule 0 twice
+        let rendered = proof.to_string();
+        assert!(rendered.contains("[rule 1]"));
+        assert!(rendered.contains("[input]"));
+    }
+
+    #[test]
+    fn absent_atom_has_no_proof() {
+        let edb = parse_database("a(1,2).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        assert!(traced.explain(&fact("g", [2, 1])).is_none());
+    }
+
+    #[test]
+    fn proofs_are_well_founded() {
+        // Cyclic data must still give finite proofs.
+        let edb = parse_database("a(1,2). a(2,1).").unwrap();
+        let traced = evaluate_traced(&tc(), &edb);
+        for atom in traced.db.iter() {
+            let proof = traced.explain(&atom).unwrap();
+            assert!(proof.depth() <= 16, "proof for {atom} too deep");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Stratified-negation evaluation — the §XII extension.
+//!
+//! The paper closes by noting that "the results on uniform containment and
+//! minimization can be extended to Datalog programs with stratified
+//! negation". This module supplies the evaluation substrate for that
+//! extension: rules are partitioned into strata by the dependence graph
+//! (negative edges must cross strictly upward), and each stratum is
+//! evaluated to fixpoint with the semi-naive engine, treating
+//! lower-stratum/EDB predicates as frozen context. Negated literals always
+//! refer to fully-computed relations, so negation-as-failure is sound.
+
+use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use crate::stats::Stats;
+use datalog_ast::{Database, DepGraph, Pred, Program};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error: the program has no stratification (a cycle through negation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotStratifiable;
+
+impl fmt::Display for NotStratifiable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program is not stratifiable: a recursive cycle passes through negation")
+    }
+}
+
+impl std::error::Error for NotStratifiable {}
+
+/// Split a program into strata of rules. Stratum `i` contains the rules
+/// whose head predicate is on stratum `i`; evaluating strata in order
+/// guarantees every negated literal sees its final relation.
+pub fn strata(program: &Program) -> Result<Vec<Program>, NotStratifiable> {
+    let graph = DepGraph::new(program);
+    let assignment = graph.stratify().ok_or(NotStratifiable)?;
+    let max = assignment.values().copied().max().unwrap_or(0);
+    let mut out = vec![Program::empty(); max + 1];
+    for rule in &program.rules {
+        let s = assignment[&rule.head.pred];
+        out[s].rules.push(rule.clone());
+    }
+    Ok(out)
+}
+
+/// Evaluate a stratified program: semi-naive per stratum, negation checked
+/// against the database computed so far. Output contains the input.
+pub fn evaluate(program: &Program, input: &Database) -> Result<Database, NotStratifiable> {
+    Ok(evaluate_with_stats(program, input)?.0)
+}
+
+/// [`evaluate`], also returning work counters.
+pub fn evaluate_with_stats(
+    program: &Program,
+    input: &Database,
+) -> Result<(Database, Stats), NotStratifiable> {
+    let layers = strata(program)?;
+    let mut db = input.clone();
+    let mut stats = Stats::default();
+    for layer in &layers {
+        let (next, s) = evaluate_stratum(layer, &db);
+        db = next;
+        stats += s;
+    }
+    Ok((db, stats))
+}
+
+/// Semi-naive fixpoint of one stratum. Negated literals refer to predicates
+/// fully computed by earlier strata (or EDB), so they are simply membership
+/// tests against the stable database.
+fn evaluate_stratum(program: &Program, input: &Database) -> (Database, Stats) {
+    let plans: Vec<RulePlan> = program.rules.iter().map(RulePlan::compile).collect();
+    let idb: BTreeSet<Pred> = program.intentional();
+    let mut stats = Stats::default();
+
+    let mut db = input.clone();
+    let mut delta = Database::new();
+    {
+        stats.iterations += 1;
+        let mut idx = IndexSet::new(input);
+        let mut derived = Vec::new();
+        for plan in &plans {
+            let order = plan.greedy_order(input);
+            join_body(plan, &order, &mut idx, None, |assignment| {
+                stats.matches += 1;
+                derived.push(instantiate_head(plan, assignment));
+            });
+        }
+        stats.probes += idx.probes;
+        for atom in derived {
+            if !db.contains(&atom) {
+                db.insert(atom.clone());
+                delta.insert(atom);
+                stats.derivations += 1;
+            }
+        }
+    }
+
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut derived = Vec::new();
+        {
+            let mut idx = IndexSet::new(&db);
+            for plan in &plans {
+                let delta_positions: Vec<usize> = plan
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| {
+                        !a.negated && idb.contains(&a.pred) && delta.relation_len(a.pred) > 0
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                for &pos in &delta_positions {
+                    let order = plan.greedy_order(&db);
+                    join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
+                        stats.matches += 1;
+                        derived.push(instantiate_head(plan, assignment));
+                    });
+                }
+            }
+            stats.probes += idx.probes;
+        }
+        let mut next_delta = Database::new();
+        for atom in derived {
+            if !db.contains(&atom) {
+                db.insert(atom.clone());
+                next_delta.insert(atom);
+                stats.derivations += 1;
+            }
+        }
+        delta = next_delta;
+    }
+    (db, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_database, parse_program};
+
+    #[test]
+    fn positive_program_matches_seminaive() {
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let edb = parse_database("a(1,2). a(2,3).").unwrap();
+        let out = evaluate(&p, &edb).unwrap();
+        assert_eq!(out, crate::seminaive::evaluate(&p, &edb));
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let p = parse_program(
+            "reach(X) :- src(X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreach(X) :- node(X), !reach(X).",
+        )
+        .unwrap();
+        let edb = parse_database(
+            "src(1). node(1). node(2). node(3). node(4).
+             edge(1, 2). edge(3, 4).",
+        )
+        .unwrap();
+        let out = evaluate(&p, &edb).unwrap();
+        assert_eq!(out.relation_len(Pred::new("reach")), 2); // 1, 2
+        assert_eq!(out.relation_len(Pred::new("unreach")), 2); // 3, 4
+        assert!(out.contains_tuple(Pred::new("unreach"), &[datalog_ast::Const::Int(3)]));
+    }
+
+    #[test]
+    fn two_negations_chain() {
+        let p = parse_program(
+            "p(X) :- base(X).
+             q(X) :- dom(X), !p(X).
+             r(X) :- dom(X), !q(X).",
+        )
+        .unwrap();
+        let edb = parse_database("dom(1). dom(2). base(1).").unwrap();
+        let out = evaluate(&p, &edb).unwrap();
+        // p = {1}; q = {2}; r = {1}.
+        assert!(out.contains_tuple(Pred::new("q"), &[datalog_ast::Const::Int(2)]));
+        assert!(out.contains_tuple(Pred::new("r"), &[datalog_ast::Const::Int(1)]));
+        assert_eq!(out.relation_len(Pred::new("r")), 1);
+    }
+
+    #[test]
+    fn unstratifiable_is_an_error() {
+        let p = parse_program("p(X) :- n(X), !q(X). q(X) :- n(X), !p(X).").unwrap();
+        assert_eq!(evaluate(&p, &Database::new()), Err(NotStratifiable));
+    }
+
+    #[test]
+    fn strata_partition_rules() {
+        let p = parse_program(
+            "reach(X) :- src(X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreach(X) :- node(X), !reach(X).",
+        )
+        .unwrap();
+        let layers = strata(&p).unwrap();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 2);
+        assert_eq!(layers[1].len(), 1);
+    }
+
+    #[test]
+    fn negation_within_recursion_positive_part_ok() {
+        // Negated predicate is EDB: single stratum works.
+        let p = parse_program("t(X, Y) :- e(X, Y), !block(X). t(X, Z) :- t(X, Y), t(Y, Z).")
+            .unwrap();
+        let edb = parse_database("e(1,2). e(2,3). block(2).").unwrap();
+        let out = evaluate(&p, &edb).unwrap();
+        assert!(out.contains_tuple(Pred::new("t"), &[1.into(), 2.into()]));
+        assert!(!out.contains_tuple(Pred::new("t"), &[2.into(), 3.into()]));
+    }
+}

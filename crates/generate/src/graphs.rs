@@ -1,0 +1,179 @@
+//! Synthetic graph EDBs.
+//!
+//! A 1987 theory paper ships no datasets, so the benchmark workloads are
+//! parameterised graph families over a binary edge predicate — the natural
+//! inputs for the transitive-closure-shaped programs that all of the
+//! paper's examples use. Every generator is deterministic given its
+//! parameters (and seed, where applicable).
+
+use datalog_ast::{Database, GroundAtom};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of directed graphs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphKind {
+    /// `0 → 1 → … → n`. Closure has `n(n+1)/2` pairs; `n` fixpoint rounds
+    /// for the left-linear program, `⌈log n⌉` for the doubling program.
+    Chain { n: usize },
+    /// A directed cycle over `n` nodes; the closure is the complete
+    /// relation on them.
+    Cycle { n: usize },
+    /// The complete digraph (no self-loops) over `n` nodes — join-heavy,
+    /// saturates in one round.
+    Complete { n: usize },
+    /// A perfect binary tree of the given depth, edges parent→child.
+    BinaryTree { depth: u32 },
+    /// A `w × h` grid with edges right and down.
+    Grid { w: usize, h: usize },
+    /// Erdős–Rényi: each ordered pair (no self-loops) is an edge with
+    /// probability `p`.
+    ErdosRenyi { n: usize, p: f64, seed: u64 },
+}
+
+/// Generate the edge list for a graph family.
+pub fn edges(kind: GraphKind) -> Vec<(i64, i64)> {
+    match kind {
+        GraphKind::Chain { n } => (0..n as i64).map(|i| (i, i + 1)).collect(),
+        GraphKind::Cycle { n } => {
+            assert!(n > 0, "cycle needs at least one node");
+            (0..n as i64).map(|i| (i, (i + 1) % n as i64)).collect()
+        }
+        GraphKind::Complete { n } => {
+            let mut out = Vec::with_capacity(n * n.saturating_sub(1));
+            for i in 0..n as i64 {
+                for j in 0..n as i64 {
+                    if i != j {
+                        out.push((i, j));
+                    }
+                }
+            }
+            out
+        }
+        GraphKind::BinaryTree { depth } => {
+            // Heap numbering: node k has children 2k+1, 2k+2.
+            let nodes = (1usize << (depth + 1)) - 1;
+            let internal = (1usize << depth) - 1;
+            let mut out = Vec::with_capacity(nodes - 1);
+            for k in 0..internal {
+                out.push((k as i64, (2 * k + 1) as i64));
+                out.push((k as i64, (2 * k + 2) as i64));
+            }
+            out
+        }
+        GraphKind::Grid { w, h } => {
+            let id = |x: usize, y: usize| (y * w + x) as i64;
+            let mut out = Vec::new();
+            for y in 0..h {
+                for x in 0..w {
+                    if x + 1 < w {
+                        out.push((id(x, y), id(x + 1, y)));
+                    }
+                    if y + 1 < h {
+                        out.push((id(x, y), id(x, y + 1)));
+                    }
+                }
+            }
+            out
+        }
+        GraphKind::ErdosRenyi { n, p, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for i in 0..n as i64 {
+                for j in 0..n as i64 {
+                    if i != j && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        out.push((i, j));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Materialise a graph as a [`Database`] over the binary predicate `pred`.
+pub fn edge_db(pred: &str, kind: GraphKind) -> Database {
+    edges(kind)
+        .into_iter()
+        .map(|(x, y)| GroundAtom::new(pred, vec![x.into(), y.into()]))
+        .collect()
+}
+
+/// A random EDB over several predicates with given arities: `tuples_per`
+/// tuples per predicate, constants drawn from `0..domain`. Deterministic
+/// for a fixed seed.
+pub fn random_db(preds: &[(&str, usize)], tuples_per: usize, domain: i64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for &(name, arity) in preds {
+        for _ in 0..tuples_per {
+            let tuple: Vec<datalog_ast::Const> =
+                (0..arity).map(|_| rng.gen_range(0..domain.max(1)).into()).collect();
+            db.insert(GroundAtom::new(name, tuple));
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::Pred;
+
+    #[test]
+    fn chain_shape() {
+        let e = edges(GraphKind::Chain { n: 3 });
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let e = edges(GraphKind::Cycle { n: 3 });
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn complete_count() {
+        assert_eq!(edges(GraphKind::Complete { n: 4 }).len(), 12);
+    }
+
+    #[test]
+    fn tree_counts() {
+        // depth 2: 7 nodes, 6 edges.
+        assert_eq!(edges(GraphKind::BinaryTree { depth: 2 }).len(), 6);
+    }
+
+    #[test]
+    fn grid_counts() {
+        // 3x2 grid: horizontal 2*2=4, vertical 3*1=3.
+        assert_eq!(edges(GraphKind::Grid { w: 3, h: 2 }).len(), 7);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 7 });
+        let b = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 7 });
+        assert_eq!(a, b);
+        let c = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 8 });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_db_materialises() {
+        let db = edge_db("a", GraphKind::Chain { n: 5 });
+        assert_eq!(db.relation_len(Pred::new("a")), 5);
+    }
+
+    #[test]
+    fn random_db_respects_arity_and_determinism() {
+        let db1 = random_db(&[("a", 2), ("c", 1)], 10, 50, 3);
+        let db2 = random_db(&[("a", 2), ("c", 1)], 10, 50, 3);
+        assert_eq!(db1, db2);
+        for t in db1.relation(Pred::new("a")) {
+            assert_eq!(t.len(), 2);
+        }
+        for t in db1.relation(Pred::new("c")) {
+            assert_eq!(t.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # datalog-generate
+//!
+//! Synthetic workloads for the `sagiv-datalog` benchmarks and property
+//! tests. A 1987 theory paper has no public datasets; per DESIGN.md §5 we
+//! substitute parameterised generators whose ground truth is known:
+//!
+//! * [`graphs`] — graph-family EDBs (chain, cycle, complete, tree, grid,
+//!   Erdős–Rényi) plus arbitrary random relations;
+//! * [`programs`] — the paper's named programs (transitive-closure
+//!   variants, same-generation, Example 19's guarded reachability) and a
+//!   random safe-program generator;
+//! * [`redundancy`] — injectors that bloat a program with *provably
+//!   redundant* atoms and rules, so minimization benchmarks can verify they
+//!   recovered everything that was planted.
+
+#![warn(rust_2018_idioms)]
+
+pub mod graphs;
+pub mod programs;
+pub mod redundancy;
+
+pub use graphs::{edge_db, edges, random_db, GraphKind};
+pub use programs::{
+    guarded_reach, random_program, random_stratified_program, same_generation,
+    transitive_closure, RandomProgramSpec, TcVariant,
+};
+pub use redundancy::{
+    bloated_tc, compose_rule, duplicate_atom, inject, rename_rule, specialize_rule, widen_atom,
+};

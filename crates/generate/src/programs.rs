@@ -1,0 +1,223 @@
+//! Program generators: the paper's named programs and random safe programs.
+
+use datalog_ast::{parse_program, Atom, Literal, Program, Rule, Term, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The transitive-closure program variants the paper's examples revolve
+/// around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcVariant {
+    /// Example 1: `g :- a` and the *doubling* rule `g :- g, g`.
+    Doubling,
+    /// Example 4's P2: `g :- a` and `g :- a, g` (left-linear).
+    LeftLinear,
+    /// Mirror image: `g :- a` and `g :- g, a`.
+    RightLinear,
+    /// Example 11's P1: doubling with the redundant-under-equivalence guard
+    /// `a(Y, W)`.
+    GuardedDoubling,
+}
+
+/// Build a transitive-closure program over EDB predicate `a` and IDB
+/// predicate `g`.
+pub fn transitive_closure(variant: TcVariant) -> Program {
+    let src = match variant {
+        TcVariant::Doubling => "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
+        TcVariant::LeftLinear => "g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).",
+        TcVariant::RightLinear => "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), a(Y, Z).",
+        TcVariant::GuardedDoubling => {
+            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W)."
+        }
+    };
+    parse_program(src).expect("builtin program parses")
+}
+
+/// The same-generation program (`sg`) over `up`/`flat`/`down`.
+pub fn same_generation() -> Program {
+    parse_program(
+        "sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).",
+    )
+    .expect("builtin program parses")
+}
+
+/// Example 19's program: closure guarded by a `c`-membership invariant.
+pub fn guarded_reach() -> Program {
+    parse_program(
+        "g(X, Z) :- a(X, Z), c(Z).
+         g(X, Z) :- a(X, Y), g(Y, Z), g(Y, W), c(W).",
+    )
+    .expect("builtin program parses")
+}
+
+/// Parameters for [`random_program`].
+#[derive(Clone, Debug)]
+pub struct RandomProgramSpec {
+    /// EDB predicates with arities, e.g. `[("a", 2), ("c", 1)]`.
+    pub edb: Vec<(String, usize)>,
+    /// IDB predicates with arities.
+    pub idb: Vec<(String, usize)>,
+    /// Number of rules to generate.
+    pub rules: usize,
+    /// Body length range (inclusive).
+    pub body_len: (usize, usize),
+    /// Size of the variable pool per rule.
+    pub var_pool: usize,
+}
+
+impl Default for RandomProgramSpec {
+    fn default() -> Self {
+        RandomProgramSpec {
+            edb: vec![("a".into(), 2), ("b".into(), 2), ("c".into(), 1)],
+            idb: vec![("p".into(), 2), ("q".into(), 2)],
+            rules: 4,
+            body_len: (1, 3),
+            var_pool: 4,
+        }
+    }
+}
+
+/// Generate a random *valid positive* program: every rule is
+/// range-restricted by construction (head variables are drawn from the
+/// generated body's variables). Deterministic per seed. Useful for
+/// property tests (e.g. "minimization preserves uniform equivalence on
+/// random programs") and scaling benches.
+pub fn random_program(spec: &RandomProgramSpec, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars: Vec<Var> =
+        (0..spec.var_pool).map(|i| Var::new(&format!("V{i}"))).collect();
+    let all_preds: Vec<(String, usize)> =
+        spec.edb.iter().chain(spec.idb.iter()).cloned().collect();
+    let mut rules = Vec::with_capacity(spec.rules);
+    for _ in 0..spec.rules {
+        let body_len = rng.gen_range(spec.body_len.0..=spec.body_len.1.max(spec.body_len.0));
+        let mut body = Vec::with_capacity(body_len);
+        let mut body_vars: Vec<Var> = Vec::new();
+        for _ in 0..body_len {
+            let (name, arity) = all_preds[rng.gen_range(0..all_preds.len())].clone();
+            let terms: Vec<Term> = (0..arity)
+                .map(|_| {
+                    let v = vars[rng.gen_range(0..vars.len())];
+                    if !body_vars.contains(&v) {
+                        body_vars.push(v);
+                    }
+                    Term::Var(v)
+                })
+                .collect();
+            body.push(Literal::pos(Atom::new(name.as_str(), terms)));
+        }
+        // Head: an IDB predicate with variables drawn from the body.
+        let (head_name, head_arity) = spec.idb[rng.gen_range(0..spec.idb.len())].clone();
+        let head_terms: Vec<Term> = (0..head_arity)
+            .map(|_| Term::Var(body_vars[rng.gen_range(0..body_vars.len())]))
+            .collect();
+        rules.push(Rule::new(Atom::new(head_name.as_str(), head_terms), body));
+    }
+    Program::new(rules)
+}
+
+/// Generate a random **stratified** program with `layers` strata. Each
+/// stratum defines one IDB predicate from the EDB predicates, the previous
+/// strata, and (from stratum 1 upward) a safe negated literal on the
+/// previous stratum's predicate. Valid and stratifiable by construction;
+/// deterministic per seed.
+pub fn random_stratified_program(layers: usize, rules_per_layer: usize, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vars = [Var::new("X"), Var::new("Y"), Var::new("Z")];
+    let mut rules = Vec::new();
+    for layer in 0..layers {
+        let head_pred = format!("s{layer}");
+        for _ in 0..rules_per_layer.max(1) {
+            let mut body: Vec<Literal> = Vec::new();
+            // A positive generator atom binding X (and possibly Y).
+            let binder = ["a", "b"][rng.gen_range(0..2)];
+            let two_vars = rng.gen_bool(0.5);
+            let binder_atom = if two_vars {
+                Atom::new(binder, vec![Term::Var(vars[0]), Term::Var(vars[1])])
+            } else {
+                Atom::new(binder, vec![Term::Var(vars[0]), Term::Var(vars[0])])
+            };
+            body.push(Literal::pos(binder_atom));
+            // Possibly chain through the previous stratum positively.
+            if layer > 0 && rng.gen_bool(0.6) {
+                body.push(Literal::pos(Atom::new(
+                    format!("s{}", layer - 1).as_str(),
+                    vec![Term::Var(vars[0])],
+                )));
+            }
+            // From stratum 1 upward: one safe negated literal on the
+            // previous stratum.
+            if layer > 0 && rng.gen_bool(0.7) {
+                body.push(Literal::neg(Atom::new(
+                    format!("s{}", layer - 1).as_str(),
+                    vec![Term::Var(vars[0])],
+                )));
+            }
+            // Occasional duplicated atom — planted redundancy.
+            if rng.gen_bool(0.4) {
+                let dup = body[rng.gen_range(0..body.len())].clone();
+                body.push(dup);
+            }
+            rules.push(Rule::new(
+                Atom::new(head_pred.as_str(), vec![Term::Var(vars[0])]),
+                body,
+            ));
+        }
+    }
+    Program::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::validate_positive;
+
+    #[test]
+    fn builtin_programs_are_valid() {
+        for v in [
+            TcVariant::Doubling,
+            TcVariant::LeftLinear,
+            TcVariant::RightLinear,
+            TcVariant::GuardedDoubling,
+        ] {
+            assert!(validate_positive(&transitive_closure(v)).is_ok());
+        }
+        assert!(validate_positive(&same_generation()).is_ok());
+        assert!(validate_positive(&guarded_reach()).is_ok());
+    }
+
+    #[test]
+    fn random_programs_are_valid_and_deterministic() {
+        let spec = RandomProgramSpec::default();
+        for seed in 0..50 {
+            let p = random_program(&spec, seed);
+            assert_eq!(p.len(), spec.rules);
+            assert!(
+                validate_positive(&p).is_ok(),
+                "seed {seed} generated invalid program:\n{p}"
+            );
+            assert_eq!(p, random_program(&spec, seed));
+        }
+    }
+
+    #[test]
+    fn random_stratified_programs_are_valid_and_stratifiable() {
+        for seed in 0..30 {
+            let p = random_stratified_program(3, 2, seed);
+            assert!(datalog_ast::validate(&p).is_ok(), "seed {seed}:\n{p}");
+            assert!(
+                datalog_ast::DepGraph::new(&p).stratify().is_some(),
+                "seed {seed} not stratifiable:\n{p}"
+            );
+            assert_eq!(p, random_stratified_program(3, 2, seed));
+        }
+    }
+
+    #[test]
+    fn random_program_respects_body_len() {
+        let spec = RandomProgramSpec { body_len: (2, 2), ..Default::default() };
+        let p = random_program(&spec, 1);
+        assert!(p.rules.iter().all(|r| r.width() == 2));
+    }
+}

@@ -1,0 +1,279 @@
+//! Redundancy injection with ground truth.
+//!
+//! The benchmarks and property tests need programs that are *known* to
+//! contain redundant parts, together with the clean original. Each injector
+//! below applies a transformation whose redundancy is provable on paper:
+//!
+//! * [`duplicate_atom`] — literally repeat a body atom; the repeat is
+//!   deleted by Fig. 1 (the identity homomorphism witnesses containment).
+//! * [`widen_atom`] — copy a body atom but replace one variable occurrence
+//!   with a fresh variable used nowhere else; mapping the fresh variable
+//!   back onto the original witnesses redundancy (the Example 7 pattern:
+//!   `A(w, y)` is a widened copy reachable from `A(w, z)`, `A(z, y)`).
+//! * [`rename_rule`] — append a variable-renamed copy of a rule; Fig. 2's
+//!   second phase deletes it.
+//! * [`specialize_rule`] — append an *instance* of a rule (some variables
+//!   unified); the instance is uniformly contained in the original.
+//! * [`compose_rule`] — append the composition of a recursive rule with a
+//!   base rule (e.g. `g :- a, a` next to `g :- a` and `g :- g, g`);
+//!   redundant because the pieces derive it in two steps.
+//!
+//! All injections preserve *uniform equivalence* — they add only parts the
+//! remaining program uniformly subsumes — so `minimize_program` must return
+//! a program of the original size. The injectors are deterministic given
+//! their seed.
+
+use datalog_ast::{Atom, Literal, Program, Rule, Subst, Term, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Duplicate a randomly chosen body atom of a randomly chosen rule.
+/// Returns `None` if the program has no rule with a non-empty body.
+pub fn duplicate_atom(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<usize> =
+        (0..program.len()).filter(|&i| program.rules[i].width() > 0).collect();
+    let &rule_idx = pick(&mut rng, &candidates)?;
+    let mut out = program.clone();
+    let rule = &mut out.rules[rule_idx];
+    let atom_idx = rng.gen_range(0..rule.width());
+    let copy = rule.body[atom_idx].clone();
+    rule.body.push(copy);
+    Some(out)
+}
+
+/// Add a *widened* copy of a body atom: one variable occurrence replaced by
+/// a fresh variable that occurs nowhere else in the rule. The widened atom
+/// is implied by the original (map fresh ↦ original), so it is redundant
+/// under uniform equivalence.
+pub fn widen_atom(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Need a rule with a body atom that has at least one variable.
+    let candidates: Vec<(usize, usize)> = program
+        .rules
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, r)| {
+            r.body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_positive() && l.atom.vars().next().is_some())
+                .map(move |(ai, _)| (ri, ai))
+        })
+        .collect();
+    let &(rule_idx, atom_idx) = pick(&mut rng, &candidates)?;
+    let mut out = program.clone();
+    let rule = &mut out.rules[rule_idx];
+    let mut widened: Atom = rule.body[atom_idx].atom.clone();
+    let var_positions: Vec<usize> = widened
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_var())
+        .map(|(i, _)| i)
+        .collect();
+    let pos = var_positions[rng.gen_range(0..var_positions.len())];
+    // Fresh variable: not used in this rule (nor anywhere — '$' namespace).
+    widened.terms[pos] = Term::Var(Var::fresh("w", seed as usize));
+    rule.body.push(Literal::pos(widened));
+    Some(out)
+}
+
+/// Append a variable-renamed copy of a randomly chosen rule.
+pub fn rename_rule(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if program.is_empty() {
+        return None;
+    }
+    let rule_idx = rng.gen_range(0..program.len());
+    let mut counter = (seed as usize).wrapping_mul(97);
+    let (renamed, _) = datalog_ast::rename_apart(&program.rules[rule_idx], "r", &mut counter);
+    let mut out = program.clone();
+    out.rules.push(renamed);
+    Some(out)
+}
+
+/// Append an instance of a randomly chosen rule: two distinct variables
+/// unified. Returns `None` if no rule has two distinct variables.
+pub fn specialize_rule(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<usize> =
+        (0..program.len()).filter(|&i| program.rules[i].vars().len() >= 2).collect();
+    let &rule_idx = pick(&mut rng, &candidates)?;
+    let rule = &program.rules[rule_idx];
+    let vars: Vec<Var> = rule.vars().into_iter().collect();
+    let i = rng.gen_range(0..vars.len());
+    let mut j = rng.gen_range(0..vars.len());
+    if i == j {
+        j = (j + 1) % vars.len();
+    }
+    let theta = Subst::singleton(vars[i], Term::Var(vars[j]));
+    let mut out = program.clone();
+    out.rules.push(theta.apply_rule(rule));
+    Some(out)
+}
+
+/// Append the unfolding of one rule into another: pick a rule `r` and a
+/// body atom of `r` headed by an IDB predicate, and resolve it against a
+/// rule for that predicate. The unfolded rule is derivable in two steps, so
+/// it is redundant. Returns `None` when no resolution applies.
+pub fn compose_rule(program: &Program, seed: u64) -> Option<Program> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idb = program.intentional();
+    // Candidate (rule, atom) pairs whose atom is IDB.
+    let candidates: Vec<(usize, usize)> = program
+        .rules
+        .iter()
+        .enumerate()
+        .flat_map(|(ri, r)| {
+            r.body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_positive() && idb.contains(&l.atom.pred))
+                .map(move |(ai, _)| (ri, ai))
+        })
+        .collect();
+    // Try candidates in a seed-rotated order until a unification succeeds.
+    if candidates.is_empty() {
+        return None;
+    }
+    let start = rng.gen_range(0..candidates.len());
+    for k in 0..candidates.len() {
+        let (rule_idx, atom_idx) = candidates[(start + k) % candidates.len()];
+        let outer = &program.rules[rule_idx];
+        let target_pred = outer.body[atom_idx].atom.pred;
+        let inner_rules: Vec<&Rule> = program.rules_for(target_pred).collect();
+        if inner_rules.is_empty() {
+            continue;
+        }
+        let inner = inner_rules[rng.gen_range(0..inner_rules.len())];
+        let mut counter = (seed as usize).wrapping_mul(131);
+        let (inner_renamed, _) = datalog_ast::rename_apart(inner, "u", &mut counter);
+        let Some(mgu) = datalog_ast::unify_atoms(&outer.body[atom_idx].atom, &inner_renamed.head)
+        else {
+            continue;
+        };
+        // New rule: outer with the atom replaced by inner's body, all under
+        // the mgu.
+        let mut body: Vec<Literal> = Vec::new();
+        for (i, lit) in outer.body.iter().enumerate() {
+            if i == atom_idx {
+                for l in &inner_renamed.body {
+                    body.push(mgu.apply_literal(l));
+                }
+            } else {
+                body.push(mgu.apply_literal(lit));
+            }
+        }
+        let unfolded = Rule { head: mgu.apply_atom(&outer.head), body };
+        if !unfolded.is_range_restricted() {
+            continue;
+        }
+        let mut out = program.clone();
+        out.rules.push(unfolded);
+        return Some(out);
+    }
+    None
+}
+
+/// Apply `count` random injections (drawn from all injectors) to `program`.
+/// Returns the bloated program and how many injections actually applied.
+pub fn inject(program: &Program, count: usize, seed: u64) -> (Program, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = program.clone();
+    let mut applied = 0;
+    for _ in 0..count {
+        let kind = rng.gen_range(0..5);
+        let sub_seed = rng.gen::<u64>();
+        let next = match kind {
+            0 => duplicate_atom(&current, sub_seed),
+            1 => widen_atom(&current, sub_seed),
+            2 => rename_rule(&current, sub_seed),
+            3 => specialize_rule(&current, sub_seed),
+            _ => compose_rule(&current, sub_seed),
+        };
+        if let Some(p) = next {
+            current = p;
+            applied += 1;
+        }
+    }
+    (current, applied)
+}
+
+/// A transitive-closure program bloated with `k` provably-redundant parts —
+/// the standard workload for the evaluation-speedup experiments (E10/E11).
+pub fn bloated_tc(k: usize, seed: u64) -> Program {
+    let base = crate::programs::transitive_closure(crate::programs::TcVariant::Doubling);
+    inject(&base, k, seed).0
+}
+
+fn pick<'a, T>(rng: &mut StdRng, slice: &'a [T]) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{transitive_closure, TcVariant};
+
+    fn tc() -> Program {
+        transitive_closure(TcVariant::Doubling)
+    }
+
+    #[test]
+    fn duplicate_atom_grows_a_body() {
+        let p = duplicate_atom(&tc(), 1).unwrap();
+        assert_eq!(p.total_width(), tc().total_width() + 1);
+    }
+
+    #[test]
+    fn widen_atom_uses_fresh_variable() {
+        let p = widen_atom(&tc(), 1).unwrap();
+        assert_eq!(p.total_width(), tc().total_width() + 1);
+        // The widened atom introduces a '$'-namespaced variable.
+        let has_fresh = p
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .any(|l| l.atom.vars().any(|v| v.name().contains('$')));
+        assert!(has_fresh);
+    }
+
+    #[test]
+    fn rename_rule_appends() {
+        let p = rename_rule(&tc(), 1).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn specialize_rule_appends_instance() {
+        let p = specialize_rule(&tc(), 1).unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn compose_rule_unfolds() {
+        let p = compose_rule(&tc(), 1).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.rules[2].is_range_restricted());
+    }
+
+    #[test]
+    fn injections_are_deterministic() {
+        let (a, na) = inject(&tc(), 10, 42);
+        let (b, nb) = inject(&tc(), 10, 42);
+        assert_eq!(a, b);
+        assert_eq!(na, nb);
+        assert!(na >= 8, "most injections should apply, got {na}");
+    }
+
+    #[test]
+    fn bloated_tc_is_bigger() {
+        let p = bloated_tc(6, 7);
+        assert!(p.len() + p.total_width() > tc().len() + tc().total_width());
+    }
+}

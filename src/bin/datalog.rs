@@ -1,0 +1,602 @@
+//! `datalog` — command-line driver for the sagiv-datalog library.
+//!
+//! ```text
+//! datalog check    <program.dl>                       validate a program
+//! datalog analyze  <program.dl>                       predicates, recursion, strata
+//! datalog minimize <program.dl>                       Fig. 2 minimization (≡u)
+//! datalog optimize <program.dl> [--fuel N]            Fig. 2 + §X–XI equivalence phase
+//! datalog eval     <program.dl> --edb <facts.dl>      bottom-up evaluation
+//!                  [--engine naive|seminaive|scc|stratified] [--stats]
+//! datalog query    '<atom>' <program.dl> --edb <facts.dl>   magic-sets query
+//! datalog explain  '<atom>' <program.dl> --edb <facts.dl>   provenance proof tree
+//! datalog contains <p1.dl> <p2.dl>                    uniform containment, both ways
+//! datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
+//! ```
+//!
+//! Exit codes: 0 success, 1 user error (bad args, parse/validation
+//! failures), 2 property does not hold (e.g. `contains` finds none).
+
+use sagiv_datalog::optimizer::{minimize_stratified, ChaseTermination};
+use sagiv_datalog::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(1));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "check" => cmd_check(rest),
+        "analyze" => cmd_analyze(rest),
+        "minimize" => cmd_minimize(rest),
+        "optimize" => cmd_optimize(rest),
+        "eval" => cmd_eval(rest),
+        "run" => cmd_run(rest),
+        "repl" => cmd_repl(rest),
+        "query" => cmd_query(rest),
+        "explain" => cmd_explain(rest),
+        "contains" => cmd_contains(rest),
+        "equiv" => cmd_equiv(rest),
+        "chase" => cmd_chase(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`; run `datalog help`")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "datalog — Sagiv 1987 Datalog optimizer & engine
+
+usage:
+  datalog check    <program.dl>
+  datalog analyze  <program.dl>
+  datalog minimize <program.dl>
+  datalog optimize <program.dl> [--fuel N]
+  datalog eval     <program.dl> --edb <facts.dl> [--engine naive|seminaive|scc|stratified] [--stats]
+  datalog run      <unit.dl>   (rules + facts [+ tgds] in one file)
+  datalog repl     [<program.dl>]   interactive session
+  datalog query    '<atom>' <program.dl> --edb <facts.dl>
+  datalog explain  '<atom>' <program.dl> --edb <facts.dl>
+  datalog contains <p1.dl> <p2.dl>
+  datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N]
+  datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]"
+    );
+}
+
+/// Parse `--flag value` options out of an argument list; returns the
+/// positional arguments and a lookup.
+fn split_flags(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "stats" {
+                flags.push((name, ""));
+                i += 1;
+            } else {
+                let value =
+                    args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name, value.as_str()));
+                i += 2;
+            }
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, Flags(flags)))
+}
+
+struct Flags<'a>(Vec<(&'a str, &'a str)>);
+
+impl<'a> Flags<'a> {
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.0.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|(n, _)| *n == name)
+    }
+
+    fn fuel(&self) -> Result<u64, String> {
+        match self.get("fuel") {
+            None => Ok(10_000),
+            Some(v) => v.parse().map_err(|_| format!("--fuel: `{v}` is not a number")),
+        }
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let src = read_file(path)?;
+    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_database(path: &str) -> Result<Database, String> {
+    let src = read_file(path)?;
+    parse_database(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = split_flags(args)?;
+    let [path] = pos.as_slice() else { return Err("usage: datalog check <program.dl>".into()) };
+    let src = read_file(path)?;
+    let unit = parse_unit(&src).map_err(|e| format!("{path}: {e}"))?;
+    let mut failed = false;
+    if let Err(errors) = validate(&unit.program) {
+        for e in errors {
+            eprintln!("{path}: {e}");
+        }
+        failed = true;
+    }
+    if let Err(errors) = unit.check_schemas() {
+        for e in errors {
+            eprintln!("{path}: {e}");
+        }
+        failed = true;
+    }
+    if failed {
+        Ok(ExitCode::from(2))
+    } else {
+        println!(
+            "{path}: ok ({} rules, {} facts, {} tgds, {} declarations)",
+            unit.program.len(),
+            unit.facts.len(),
+            unit.tgds.len(),
+            unit.schemas.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = split_flags(args)?;
+    let [path] = pos.as_slice() else { return Err("usage: datalog analyze <program.dl>".into()) };
+    let program = load_program(path)?;
+    let graph = DepGraph::new(&program);
+    let idb = program.intentional();
+    let edb = program.extensional();
+    println!("rules:       {}", program.len());
+    println!("body atoms:  {}", program.total_width());
+    println!(
+        "intentional: {}",
+        idb.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    );
+    println!(
+        "extensional: {}",
+        edb.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+    );
+    println!("recursive:   {}", graph.is_recursive());
+    println!("linear:      {}", datalog_ast::depgraph::is_linear(&program));
+    match graph.stratify() {
+        Some(strata) => {
+            let max = strata.values().copied().max().unwrap_or(0);
+            println!("strata:      {}", max + 1);
+            for (p, s) in &strata {
+                println!("  {p}: stratum {s}");
+            }
+        }
+        None => println!("strata:      NOT STRATIFIABLE"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = split_flags(args)?;
+    let [path] = pos.as_slice() else { return Err("usage: datalog minimize <program.dl>".into()) };
+    let program = load_program(path)?;
+    let (minimized, removal) = if program.is_positive() {
+        minimize_program(&program).map_err(|e| e.to_string())?
+    } else {
+        minimize_stratified(&program).map_err(|e| e.to_string())?
+    };
+    print!("{minimized}");
+    for (idx, atom) in &removal.atoms {
+        eprintln!("% removed atom {atom} (rule {idx})");
+    }
+    for rule in &removal.rules {
+        eprintln!("% removed rule {rule}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_optimize(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog optimize <program.dl> [--fuel N]".into());
+    };
+    let program = load_program(path)?;
+    let (optimized, removal, applied) =
+        optimize(&program, flags.fuel()?).map_err(|e| e.to_string())?;
+    print!("{optimized}");
+    for (idx, atom) in &removal.atoms {
+        eprintln!("% [≡u] removed atom {atom} (rule {idx})");
+    }
+    for rule in &removal.rules {
+        eprintln!("% [≡u] removed rule {rule}");
+    }
+    for opt in &applied {
+        eprintln!(
+            "% [≡ via tgd {}] removed {}",
+            opt.tgd,
+            opt.removed_atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_eval(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog eval <program.dl> --edb <facts.dl> [--engine E] [--stats]".into());
+    };
+    let program = load_program(path)?;
+    let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
+    let engine = flags.get("engine").unwrap_or("seminaive");
+    let (out, stats) = match engine {
+        "naive" => naive::evaluate_with_stats(&program, &edb),
+        "seminaive" => seminaive::evaluate_with_stats(&program, &edb),
+        "scc" => scc_eval::evaluate_with_stats(&program, &edb),
+        "stratified" => stratified::evaluate_with_stats(&program, &edb)
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    for atom in out.iter() {
+        println!("{atom}.");
+    }
+    if flags.has("stats") {
+        eprintln!("% {stats}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog run <unit.dl> [--stats]".into());
+    };
+    let src = read_file(path)?;
+    let unit = parse_unit(&src).map_err(|e| format!("{path}: {e}"))?;
+    if let Err(errors) = unit.check_schemas() {
+        let msgs: Vec<String> = errors.iter().map(ToString::to_string).collect();
+        return Err(msgs.join("; "));
+    }
+    let input = Database::from_atoms(unit.facts.iter().cloned());
+    let (out, stats) = if unit.tgds.is_empty() {
+        if unit.program.is_positive() {
+            seminaive::evaluate_with_stats(&unit.program, &input)
+        } else {
+            stratified::evaluate_with_stats(&unit.program, &input).map_err(|e| e.to_string())?
+        }
+    } else {
+        // With tgds: run the combined [P, T] chase (fuel-bounded).
+        let fuel =
+            sagiv_datalog::optimizer::fuel_for(&unit.tgds, flags.fuel()?);
+        let result = chase(&unit.program, &unit.tgds, &input, fuel, None);
+        eprintln!("% chase status: {:?}", result.status);
+        (result.db, Stats::default())
+    };
+    for atom in out.iter() {
+        println!("{atom}.");
+    }
+    if flags.has("stats") {
+        eprintln!("% {stats}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_query(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [query_src, path] = pos.as_slice() else {
+        return Err("usage: datalog query '<atom>' <program.dl> --edb <facts.dl>".into());
+    };
+    let query = parse_atom(query_src).map_err(|e| e.to_string())?;
+    let program = load_program(path)?;
+    let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
+    let (answers, stats) = match flags.get("strategy").unwrap_or("magic") {
+        "magic" => magic::answer_with_stats(&program, &edb, &query),
+        "qsq" => qsq::answer_with_stats(&program, &edb, &query),
+        other => return Err(format!("unknown strategy `{other}` (magic|qsq)")),
+    };
+    for atom in answers.iter() {
+        println!("{atom}.");
+    }
+    if flags.has("stats") {
+        eprintln!("% {stats}");
+    }
+    Ok(if answers.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS })
+}
+
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [atom_src, path] = pos.as_slice() else {
+        return Err("usage: datalog explain '<atom>' <program.dl> --edb <facts.dl>".into());
+    };
+    let atom = parse_atom(atom_src).map_err(|e| e.to_string())?;
+    let goal = atom.to_ground().ok_or("the atom to explain must be ground")?;
+    let program = load_program(path)?;
+    let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
+    let traced = sagiv_datalog::engine::provenance::evaluate_traced(&program, &edb);
+    match traced.explain(&goal) {
+        Some(proof) => {
+            print!("{proof}");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("{goal} is not derivable");
+            Ok(ExitCode::from(2))
+        }
+    }
+}
+
+fn cmd_contains(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, _) = split_flags(args)?;
+    let [p1_path, p2_path] = pos.as_slice() else {
+        return Err("usage: datalog contains <p1.dl> <p2.dl>".into());
+    };
+    let p1 = load_program(p1_path)?;
+    let p2 = load_program(p2_path)?;
+    let fwd = uniformly_contains(&p1, &p2).map_err(|e| e.to_string())?;
+    let bwd = uniformly_contains(&p2, &p1).map_err(|e| e.to_string())?;
+    println!("P2 ⊑u P1 (P1 uniformly contains P2): {fwd}");
+    println!("P1 ⊑u P2 (P2 uniformly contains P1): {bwd}");
+    println!("uniformly equivalent: {}", fwd && bwd);
+    Ok(if fwd && bwd { ExitCode::SUCCESS } else { ExitCode::from(2) })
+}
+
+fn cmd_equiv(args: &[String]) -> Result<ExitCode, String> {
+    use sagiv_datalog::optimizer::{analyze_equivalence, EquivVerdict};
+    let (pos, flags) = split_flags(args)?;
+    let [p1_path, p2_path] = pos.as_slice() else {
+        return Err("usage: datalog equiv <p1.dl> <p2.dl> [--fuel N] [--samples N]".into());
+    };
+    let p1 = load_program(p1_path)?;
+    let p2 = load_program(p2_path)?;
+    let samples = match flags.get("samples") {
+        None => 200,
+        Some(v) => v.parse().map_err(|_| format!("--samples: `{v}` is not a number"))?,
+    };
+    let verdict =
+        analyze_equivalence(&p1, &p2, flags.fuel()?, samples).map_err(|e| e.to_string())?;
+    match verdict {
+        EquivVerdict::UniformlyEquivalent => {
+            println!("EQUIVALENT (uniformly — decided, paper §VI)");
+            Ok(ExitCode::SUCCESS)
+        }
+        EquivVerdict::CertifiedEquivalent => {
+            println!("EQUIVALENT (certified via the §X–§XI tgd pipeline)");
+            Ok(ExitCode::SUCCESS)
+        }
+        EquivVerdict::NotEquivalent(sep) => {
+            println!("NOT EQUIVALENT");
+            println!("separating EDB: {}", sep.edb);
+            println!(
+                "witness: {} derived by {} only",
+                sep.witness,
+                if sep.in_first { "P1" } else { "P2" }
+            );
+            Ok(ExitCode::from(2))
+        }
+        EquivVerdict::Unknown => {
+            println!("UNKNOWN (neither proved nor refuted within budget — the problem is undecidable in general)");
+            Ok(ExitCode::from(3))
+        }
+    }
+}
+
+fn cmd_chase(args: &[String]) -> Result<ExitCode, String> {
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog chase <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]".into());
+    };
+    let program = load_program(path)?;
+    let tgds_src = read_file(flags.get("tgds").ok_or("--tgds <tgds.dl> is required")?)?;
+    let tgds = parse_tgds(&tgds_src).map_err(|e| e.to_string())?;
+    let db = load_database(flags.get("db").ok_or("--db <facts.dl> is required")?)?;
+    let termination = sagiv_datalog::optimizer::analyze_termination(&tgds);
+    eprintln!(
+        "% termination: {}",
+        match termination {
+            ChaseTermination::AllFull => "guaranteed (all tgds full)",
+            ChaseTermination::WeaklyAcyclic => "guaranteed (weakly acyclic)",
+            ChaseTermination::Unknown => "not guaranteed (fuel bound applies)",
+        }
+    );
+    let fuel = sagiv_datalog::optimizer::fuel_for(&tgds, flags.fuel()?);
+    let result = chase(&program, &tgds, &db, fuel, None);
+    for atom in result.db.iter() {
+        println!("{atom}.");
+    }
+    eprintln!("% status: {:?}, atoms added: {}", result.status, result.added);
+    Ok(match result.status {
+        ChaseStatus::Saturated | ChaseStatus::GoalReached => ExitCode::SUCCESS,
+        ChaseStatus::OutOfFuel => ExitCode::from(2),
+    })
+}
+
+/// Interactive session. Commands:
+///
+/// * `p(X) :- q(X).` — add a rule (rebuilds the materialisation);
+/// * `p(1, 2).` — assert a fact (incremental propagation);
+/// * `?- g(1, X).` — query the current fixpoint (pattern matching);
+/// * `:load <file>` — add the rules/facts of a file;
+/// * `:program` — print the current rules;
+/// * `:minimize` — minimize the current rules (Fig. 2);
+/// * `:db` — print the current fixpoint;
+/// * `:explain g(1, 2).` — print a derivation;
+/// * `:quit` — leave.
+fn cmd_repl(args: &[String]) -> Result<ExitCode, String> {
+    use datalog_engine::Materialized;
+    use std::io::BufRead;
+
+    let (pos, _) = split_flags(args)?;
+    let mut program = match pos.as_slice() {
+        [] => Program::empty(),
+        [path] => load_program(path)?,
+        _ => return Err("usage: datalog repl [<program.dl>]".into()),
+    };
+    // `base` holds only asserted facts; the materialisation holds the
+    // fixpoint. Provenance (:explain) runs from the base so input vs.
+    // derived is reported truthfully.
+    let mut base = Database::new();
+    let mut m = Materialized::new(program.clone(), &base);
+
+    let stdin = std::io::stdin();
+    let interactive = is_tty();
+    if interactive {
+        eprintln!("datalog repl — :help for commands");
+    }
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            eprint!("?- ");
+        }
+        let Some(line) = lines.next() else { break };
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let result = repl_step(line, &mut program, &mut base, &mut m);
+        match result {
+            Ok(ReplOutcome::Continue) => {}
+            Ok(ReplOutcome::Quit) => break,
+            Err(msg) => eprintln!("error: {msg}"),
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+enum ReplOutcome {
+    Continue,
+    Quit,
+}
+
+fn is_tty() -> bool {
+    // Keep it simple and dependency-free: scripted runs set no TERM-based
+    // expectations; suppress prompts unless explicitly interactive.
+    std::env::var_os("DATALOG_REPL_PROMPT").is_some()
+}
+
+fn repl_step(
+    line: &str,
+    program: &mut Program,
+    base: &mut Database,
+    m: &mut datalog_engine::Materialized,
+) -> Result<ReplOutcome, String> {
+    use datalog_engine::Materialized;
+
+    if let Some(rest) = line.strip_prefix("?-") {
+        // Query: match a (possibly non-ground) atom against the fixpoint.
+        let atom_src = rest.trim().trim_end_matches('.');
+        let pattern = parse_atom(atom_src).map_err(|e| e.to_string())?;
+        let mut count = 0usize;
+        for tuple in m.database().relation(pattern.pred) {
+            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            if datalog_ast::match_atom(&pattern, &g).is_some() {
+                println!("{g}.");
+                count += 1;
+            }
+        }
+        println!("% {count} answer(s)");
+        return Ok(ReplOutcome::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":explain") {
+        let atom_src = rest.trim().trim_end_matches('.');
+        let goal = parse_atom(atom_src)
+            .map_err(|e| e.to_string())?
+            .to_ground()
+            .ok_or("the atom to explain must be ground")?;
+        let traced = sagiv_datalog::engine::provenance::evaluate_traced(program, base);
+        match traced.explain(&goal) {
+            Some(proof) => print!("{proof}"),
+            None => println!("% {goal} is not derivable"),
+        }
+        return Ok(ReplOutcome::Continue);
+    }
+    if let Some(rest) = line.strip_prefix(":load") {
+        let src = read_file(rest.trim())?;
+        let unit = parse_unit(&src).map_err(|e| e.to_string())?;
+        program.rules.extend(unit.program.rules);
+        base.extend(unit.facts);
+        *m = Materialized::new(program.clone(), base);
+        println!("% loaded ({} rules, {} atoms)", program.len(), m.database().len());
+        return Ok(ReplOutcome::Continue);
+    }
+    match line {
+        ":quit" | ":q" | ":exit" => return Ok(ReplOutcome::Quit),
+        ":help" => {
+            println!(
+                "% rule.         add a rule\n\
+                 % fact.         assert a fact (incremental)\n\
+                 % ?- atom.      query\n\
+                 % :load FILE    add rules/facts from a file\n\
+                 % :program      show rules\n\
+                 % :minimize     Fig. 2 minimization\n\
+                 % :db           show the fixpoint\n\
+                 % :explain A.   derivation tree for a ground atom\n\
+                 % :quit"
+            );
+            return Ok(ReplOutcome::Continue);
+        }
+        ":program" => {
+            print!("{program}");
+            return Ok(ReplOutcome::Continue);
+        }
+        ":db" => {
+            for a in m.database().iter() {
+                println!("{a}.");
+            }
+            return Ok(ReplOutcome::Continue);
+        }
+        ":minimize" => {
+            let (min, removal) = minimize_program(program).map_err(|e| e.to_string())?;
+            *program = min;
+            *m = datalog_engine::Materialized::new(program.clone(), base);
+            println!("% removed {} part(s)", removal.len());
+            return Ok(ReplOutcome::Continue);
+        }
+        _ => {}
+    }
+    // Otherwise: a rule or a fact.
+    let rule = parse_rule(line).map_err(|e| e.to_string())?;
+    if rule.body.is_empty() {
+        if let Some(g) = rule.head.to_ground() {
+            base.insert(g.clone());
+            let added = m.insert([g]);
+            println!("% +{added} atom(s)");
+            return Ok(ReplOutcome::Continue);
+        }
+    }
+    if let Err(errors) = validate_positive(&Program::new(vec![rule.clone()])) {
+        return Err(errors
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; "));
+    }
+    program.rules.push(rule);
+    *m = datalog_engine::Materialized::new(program.clone(), base);
+    println!("% rule added ({} rules)", program.len());
+    Ok(ReplOutcome::Continue)
+}

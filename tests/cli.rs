@@ -1,0 +1,456 @@
+//! End-to-end tests of the `datalog` CLI binary: every subcommand exercised
+//! through real process invocations on temp files.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_datalog"))
+}
+
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "sagiv-datalog-cli-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let p = self.path.join(name);
+        let mut f = std::fs::File::create(&p).expect("create temp file");
+        f.write_all(contents.as_bytes()).expect("write temp file");
+        p.to_str().expect("utf8 path").to_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const TC: &str = "g(X, Z) :- a(X, Z).\ng(X, Z) :- g(X, Y), g(Y, Z).\n";
+const GUARDED: &str = "g(X, Z) :- a(X, Z).\ng(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).\n";
+const CHAIN: &str = "a(1, 2). a(2, 3). a(3, 4).";
+
+#[test]
+fn check_valid_program() {
+    let dir = TempDir::new("check");
+    let p = dir.file("tc.dl", TC);
+    let out = bin().args(["check", &p]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok (2 rules"));
+}
+
+#[test]
+fn check_invalid_program_exits_2() {
+    let dir = TempDir::new("check-bad");
+    let p = dir.file("bad.dl", "g(X, W) :- a(X, Y).\n");
+    let out = bin().args(["check", &p]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("head variable"));
+}
+
+#[test]
+fn check_parse_error_exits_1() {
+    let dir = TempDir::new("check-parse");
+    let p = dir.file("broken.dl", "g(X :- a(X).\n");
+    let out = bin().args(["check", &p]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("parse error"));
+}
+
+#[test]
+fn analyze_reports_structure() {
+    let dir = TempDir::new("analyze");
+    let p = dir.file("tc.dl", TC);
+    let out = bin().args(["analyze", &p]).output().unwrap();
+    assert!(out.status.success());
+    let s = stdout(&out);
+    assert!(s.contains("recursive:   true"));
+    assert!(s.contains("intentional: g"));
+    assert!(s.contains("extensional: a"));
+    assert!(s.contains("linear:      false"));
+}
+
+#[test]
+fn minimize_removes_duplicate() {
+    let dir = TempDir::new("minimize");
+    let p = dir.file("dup.dl", "g(X) :- a(X), a(X).\n");
+    let out = bin().args(["minimize", &p]).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "g(X) :- a(X).\n");
+    assert!(stderr(&out).contains("removed atom a(X)"));
+}
+
+#[test]
+fn minimize_handles_stratified_programs() {
+    let dir = TempDir::new("minimize-strat");
+    let p = dir.file("strat.dl", "p(X) :- b(X).\nq(X) :- d(X), !p(X), !p(X).\n");
+    let out = bin().args(["minimize", &p]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("q(X) :- d(X), !p(X).\n"));
+}
+
+#[test]
+fn optimize_removes_guard() {
+    let dir = TempDir::new("optimize");
+    let p = dir.file("guarded.dl", GUARDED);
+    let out = bin().args(["optimize", &p]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(stdout(&out), TC);
+    assert!(stderr(&out).contains("via tgd"));
+}
+
+#[test]
+fn eval_produces_closure() {
+    let dir = TempDir::new("eval");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let out = bin().args(["eval", &p, "--edb", &e, "--stats"]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("g(1, 4)."));
+    assert_eq!(s.matches("g(").count(), 6);
+    assert!(stderr(&out).contains("derivations=6"));
+}
+
+#[test]
+fn eval_engines_agree() {
+    let dir = TempDir::new("engines");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let mut outputs = Vec::new();
+    for engine in ["naive", "seminaive", "stratified"] {
+        let out = bin().args(["eval", &p, "--edb", &e, "--engine", engine]).output().unwrap();
+        assert!(out.status.success(), "{engine}: {}", stderr(&out));
+        outputs.push(stdout(&out));
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}
+
+#[test]
+fn query_uses_magic_sets() {
+    let dir = TempDir::new("query");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let out = bin().args(["query", "g(1, X)", &p, "--edb", &e]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert_eq!(s, "g(1, 2).\ng(1, 3).\ng(1, 4).\n");
+}
+
+#[test]
+fn query_with_no_answers_exits_2() {
+    let dir = TempDir::new("query-empty");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let out = bin().args(["query", "g(4, X)", &p, "--edb", &e]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explain_prints_proof_tree() {
+    let dir = TempDir::new("explain");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let out = bin().args(["explain", "g(1, 3)", &p, "--edb", &e]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("g(1, 3)  [rule 1]"));
+    assert!(s.contains("a(1, 2)  [input]"));
+}
+
+#[test]
+fn explain_underivable_exits_2() {
+    let dir = TempDir::new("explain-miss");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let out = bin().args(["explain", "g(4, 1)", &p, "--edb", &e]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("not derivable"));
+}
+
+#[test]
+fn contains_verdicts() {
+    let dir = TempDir::new("contains");
+    let p1 = dir.file("doubling.dl", TC);
+    let p2 = dir.file("left.dl", "g(X, Z) :- a(X, Z).\ng(X, Z) :- a(X, Y), g(Y, Z).\n");
+    let out = bin().args(["contains", &p1, &p2]).output().unwrap();
+    // Not uniformly equivalent → exit 2.
+    assert_eq!(out.status.code(), Some(2));
+    let s = stdout(&out);
+    assert!(s.contains("P2 ⊑u P1 (P1 uniformly contains P2): true"));
+    assert!(s.contains("P1 ⊑u P2 (P2 uniformly contains P1): false"));
+
+    let out = bin().args(["contains", &p1, &p1]).output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn chase_with_weakly_acyclic_tgds() {
+    let dir = TempDir::new("chase");
+    let p = dir.file("tc.dl", TC);
+    let t = dir.file("tgds.dl", "g(X, Z) -> a(X, W).\n");
+    let d = dir.file("db.dl", "g(1, 2).");
+    let out = bin().args(["chase", &p, "--tgds", &t, "--db", &d]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("weakly acyclic"));
+    assert!(stdout(&out).contains("a(1, δ0)."));
+}
+
+#[test]
+fn chase_divergent_tgds_exits_2() {
+    let dir = TempDir::new("chase-div");
+    let p = dir.file("empty.dl", "");
+    let t = dir.file("tgds.dl", "g(X, Y) -> a(X, W) & g(W, Y).\n");
+    let d = dir.file("db.dl", "g(1, 2).");
+    let out =
+        bin().args(["chase", &p, "--tgds", &t, "--db", &d, "--fuel", "20"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("not guaranteed"));
+    assert!(stderr(&out).contains("OutOfFuel"));
+}
+
+#[test]
+fn unknown_command_errors() {
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn run_unit_file() {
+    let dir = TempDir::new("run");
+    let u = dir.file(
+        "unit.dl",
+        "g(X, Z) :- a(X, Z).\ng(X, Z) :- g(X, Y), g(Y, Z).\na(1, 2). a(2, 3).\n",
+    );
+    let out = bin().args(["run", &u]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("g(1, 3)."));
+    assert!(s.contains("a(1, 2)."));
+}
+
+#[test]
+fn run_unit_with_tgds_uses_chase() {
+    let dir = TempDir::new("run-tgds");
+    let u = dir.file(
+        "unit.dl",
+        "g(X, Z) :- a(X, Z).\ng(1, 2).\ng(X, Z) -> a(X, W).\n",
+    );
+    let out = bin().args(["run", &u]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("chase status: Saturated"));
+    assert!(stdout(&out).contains("a(1, δ0)."));
+}
+
+#[test]
+fn run_unit_with_negation_uses_stratified() {
+    let dir = TempDir::new("run-neg");
+    let u = dir.file(
+        "unit.dl",
+        "r(X) :- n(X), !b(X).\nn(1). n(2). b(2).\n",
+    );
+    let out = bin().args(["run", &u]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("r(1)."));
+    assert!(!s.contains("r(2)."));
+}
+
+#[test]
+fn repl_scripted_session() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let dir = TempDir::new("repl");
+    let extra = dir.file("extra.dl", "a(3, 4).\n");
+    let script = format!(
+        "g(X, Z) :- a(X, Z).\n\
+         g(X, Z) :- g(X, Y), g(Y, Z).\n\
+         a(1, 2).\n\
+         a(2, 3).\n\
+         ?- g(1, X).\n\
+         :load {extra}\n\
+         ?- g(1, 4).\n\
+         :explain g(1, 3).\n\
+         :program\n\
+         :quit\n"
+    );
+    let mut child = bin()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    // First query: closure of a 2-chain from 1.
+    assert!(s.contains("g(1, 2)."), "{s}");
+    assert!(s.contains("g(1, 3)."), "{s}");
+    assert!(s.contains("% 2 answer(s)"), "{s}");
+    // After :load, g(1,4) becomes derivable.
+    assert!(s.contains("g(1, 4)."), "{s}");
+    assert!(s.contains("% 1 answer(s)"), "{s}");
+    // Explanation and program dump present.
+    assert!(s.contains("[rule 1]"), "{s}");
+    assert!(s.contains("g(X, Z) :- g(X, Y), g(Y, Z)."), "{s}");
+}
+
+#[test]
+fn repl_minimize_command() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let script = "g(X) :- a(X), a(X).\n:minimize\n:program\n:quit\n";
+    let mut child = bin()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("% removed 1 part(s)"), "{s}");
+    assert!(s.contains("g(X) :- a(X).\n"), "{s}");
+}
+
+#[test]
+fn repl_rejects_invalid_rule_but_continues() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let script = "bad(X, W) :- a(X).\ngood(X) :- a(X).\n:program\n:quit\n";
+    let mut child = bin()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(stderr(&out).contains("head variable"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("good(X) :- a(X)."));
+    assert!(!stdout(&out).contains("bad(X, W)"));
+}
+
+#[test]
+fn query_strategy_qsq_agrees_with_magic() {
+    let dir = TempDir::new("query-qsq");
+    let p = dir.file("tc.dl", TC);
+    let e = dir.file("chain.dl", CHAIN);
+    let magic = bin().args(["query", "g(1, X)", &p, "--edb", &e]).output().unwrap();
+    let qsq =
+        bin().args(["query", "g(1, X)", &p, "--edb", &e, "--strategy", "qsq"]).output().unwrap();
+    assert!(qsq.status.success(), "{}", stderr(&qsq));
+    assert_eq!(stdout(&magic), stdout(&qsq));
+}
+
+#[test]
+fn equiv_verdicts() {
+    let dir = TempDir::new("equiv");
+    let doubling = dir.file("doubling.dl", TC);
+    let guarded = dir.file("guarded.dl", GUARDED);
+    let renamed = dir.file("renamed.dl", "g(U, W) :- a(U, W).\ng(U, W) :- g(U, V), g(V, W).\n");
+    let different = dir.file("different.dl", "g(X, Z) :- a(Z, X).\n");
+
+    // Uniformly equivalent (renaming).
+    let out = bin().args(["equiv", &doubling, &renamed]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("uniformly"));
+
+    // Certified via tgds (Example 18 pair).
+    let out = bin().args(["equiv", &doubling, &guarded]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("certified"));
+
+    // Refuted with a witness EDB.
+    let out = bin().args(["equiv", &doubling, &different]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stdout(&out).contains("NOT EQUIVALENT"));
+    assert!(stdout(&out).contains("witness:"));
+}
+
+#[test]
+fn check_reports_unit_summary_and_schemas() {
+    let dir = TempDir::new("check-unit");
+    let u = dir.file(
+        "unit.dl",
+        "@decl a(int, int).\ng(X, Z) :- a(X, Z).\na(1, 2).\n",
+    );
+    let out = bin().args(["check", &u]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1 rules, 1 facts, 0 tgds, 1 declarations"));
+
+    let bad = dir.file("bad.dl", "@decl a(int, int).\ng(X) :- a(X).\n");
+    let out = bin().args(["check", &bad]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("arity"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_rejects_schema_violations() {
+    let dir = TempDir::new("run-schema");
+    let u = dir.file(
+        "unit.dl",
+        "@decl person(sym).\nadult(X) :- person(X).\nperson(42).\n",
+    );
+    let out = bin().args(["run", &u]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("declared sym"), "{}", stderr(&out));
+}
+
+#[test]
+fn shipped_sample_files_work() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let tc = format!("{root}/examples/data/transitive_closure.dl");
+    let out = bin().args(["run", &tc]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    // Example 2's closure: g(1,1) among the answers.
+    assert!(stdout(&out).contains("g(1, 1)."));
+
+    let guarded = format!("{root}/examples/data/guarded.dl");
+    let out = bin().args(["optimize", &guarded]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("a(Y, W)"), "guard removed:\n{}", stdout(&out));
+
+    let ex19 = format!("{root}/examples/data/example19.dl");
+    let out = bin().args(["optimize", &ex19]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("via tgd"), "{}", stderr(&out));
+
+    let gen = format!("{root}/examples/data/genealogy.dl");
+    let out = bin().args(["check", &gen]).output().unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+}

@@ -1,0 +1,179 @@
+//! The diagnostic data model: severities, diagnostics, and their
+//! text/JSON renderings.
+
+use datalog_ast::{Program, Span};
+use datalog_json::Value;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or informational; the program is fine.
+    Note,
+    /// Likely a mistake or a missed optimization; the program still runs.
+    Warning,
+    /// The program is invalid or will not evaluate as written.
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from a lint pass.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, e.g. `L201`.
+    pub code: &'static str,
+    pub severity: Severity,
+    /// One-line human-readable description of the finding.
+    pub message: String,
+    /// Index of the offending rule in `Program::rules`, when rule-scoped.
+    pub rule_idx: Option<usize>,
+    /// Source location (line/col), when the program was parsed with spans.
+    pub span: Option<Span>,
+    /// Actionable follow-up ("remove this atom", …), when one exists.
+    pub suggestion: Option<String>,
+    /// Longer explanation — for semantic lints, the witnessing containment.
+    pub explanation: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            rule_idx: None,
+            span: None,
+            suggestion: None,
+            explanation: None,
+        }
+    }
+
+    /// Attach the rule index and (if the program carries spans) the rule's
+    /// source position.
+    pub fn at_rule(mut self, program: &Program, rule_idx: usize) -> Diagnostic {
+        self.rule_idx = Some(rule_idx);
+        if let Some(spans) = program.rules.get(rule_idx).and_then(|r| r.spans.as_ref()) {
+            self.span = Some(spans.rule);
+        }
+        self
+    }
+
+    /// Narrow the source position to body literal `atom_idx` of the rule
+    /// (falls back to the rule span when no body span is recorded).
+    pub fn at_body_atom(
+        mut self,
+        program: &Program,
+        rule_idx: usize,
+        atom_idx: usize,
+    ) -> Diagnostic {
+        self = self.at_rule(program, rule_idx);
+        if let Some(spans) = program.rules.get(rule_idx).and_then(|r| r.spans.as_ref()) {
+            if let Some(s) = spans.body_span(atom_idx) {
+                self.span = Some(s);
+            }
+        }
+        self
+    }
+
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    pub fn with_explanation(mut self, explanation: impl Into<String>) -> Diagnostic {
+        self.explanation = Some(explanation.into());
+        self
+    }
+
+    /// JSON object form (used by `datalog lint --format json`).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("code", Value::from(self.code)),
+            ("severity", Value::from(self.severity.as_str())),
+            ("message", Value::from(self.message.as_str())),
+            ("rule", Value::from(self.rule_idx)),
+            ("line", Value::from(self.span.map(|s| s.line))),
+            ("col", Value::from(self.span.map(|s| s.col))),
+            ("suggestion", Value::from(self.suggestion.as_deref())),
+            ("explanation", Value::from(self.explanation.as_deref())),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `severity[code] at line:col (rule N): message` plus indented
+    /// suggestion/explanation lines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(span) = self.span {
+            write!(f, " at {span}")?;
+        }
+        if let Some(idx) = self.rule_idx {
+            write!(f, " (rule {idx})")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  suggestion: {s}")?;
+        }
+        if let Some(e) = &self.explanation {
+            for line in e.lines() {
+                write!(f, "\n  | {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_program;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn spans_resolved_from_parsed_program() {
+        let p = parse_program("g(X, Z) :- a(X, Z).\ng(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let d = Diagnostic::new("L999", Severity::Warning, "test").at_body_atom(&p, 1, 1);
+        assert_eq!(d.rule_idx, Some(1));
+        let span = d.span.unwrap();
+        assert_eq!(span.line, 2);
+        assert!(
+            span.col > 12,
+            "second body literal starts late in the line: {span}"
+        );
+        let rendered = d.to_string();
+        assert!(rendered.contains("warning[L999]"));
+        assert!(rendered.contains("(rule 1)"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let d = Diagnostic::new("L101", Severity::Error, "arity mismatch")
+            .with_suggestion("fix the arity");
+        let j = d.to_json();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("L101"));
+        assert_eq!(j.get("severity").unwrap().as_str(), Some("error"));
+        assert_eq!(j.get("rule").unwrap(), &Value::Null);
+        assert_eq!(j.get("suggestion").unwrap().as_str(), Some("fix the arity"));
+    }
+}

@@ -1,0 +1,593 @@
+//! Structural lints (`L1xx`): pure AST/dependence-graph passes.
+//!
+//! None of these invoke the §VI freeze+saturate machinery — they consume no
+//! fuel and run in (near-)linear time, so they are always on. They catch
+//! the defect classes that "Finding Cross-rule Optimization Bugs in Datalog
+//! Engines" shows engines miscompile: dead rules, accidental cross
+//! products, duplicated literals, unstratifiable negation.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::registry::{Lint, LintContext};
+use datalog_ast::{validate, Pred, ValidationError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// All structural lints, in run order.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(ArityMismatch),
+        Box::new(NotRangeRestricted),
+        Box::new(UnsafeNegation),
+        Box::new(Unstratifiable),
+        Box::new(UnderivedPredicate),
+        Box::new(UnusedPredicate),
+        Box::new(UnreachableRule),
+        Box::new(SingletonVariable),
+        Box::new(CartesianProduct),
+        Box::new(DuplicateLiteral),
+        Box::new(ConstantOnlyHead),
+    ]
+}
+
+/// Shared driver for the three validation-backed lints: surface
+/// [`ValidationError`]s of one kind as diagnostics of one code.
+fn emit_validation_errors(
+    cx: &mut LintContext<'_>,
+    code: &'static str,
+    severity: Severity,
+    mut select: impl FnMut(&ValidationError) -> Option<(usize, String)>,
+) {
+    let program = cx.program();
+    if let Err(errors) = validate(program) {
+        for e in &errors {
+            if let Some((rule_idx, message)) = select(e) {
+                cx.emit(Diagnostic::new(code, severity, message).at_rule(program, rule_idx));
+            }
+        }
+    }
+}
+
+/// `L101`: a predicate is used with two different arities (§II assumes
+/// fixed arities; engines disagree wildly on what mixed arities mean).
+pub struct ArityMismatch;
+
+impl Lint for ArityMismatch {
+    fn code(&self) -> &'static str {
+        "L101"
+    }
+    fn name(&self) -> &'static str {
+        "arity-mismatch"
+    }
+    fn description(&self) -> &'static str {
+        "a predicate is used with two different arities (paper §II: fixed-arity predicates)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        emit_validation_errors(cx, self.code(), self.default_severity(), |e| {
+            match e {
+            ValidationError::ArityMismatch { pred, expected, found, rule_idx } => Some((
+                *rule_idx,
+                format!("predicate `{pred}` used with arity {found}, but previously with arity {expected}"),
+            )),
+            _ => None,
+        }
+        });
+    }
+}
+
+/// `L102`: a head variable does not occur in any positive body literal
+/// (§II range restriction).
+pub struct NotRangeRestricted;
+
+impl Lint for NotRangeRestricted {
+    fn code(&self) -> &'static str {
+        "L102"
+    }
+    fn name(&self) -> &'static str {
+        "not-range-restricted"
+    }
+    fn description(&self) -> &'static str {
+        "a head variable is not bound by any positive body literal (paper §II: range restriction)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        emit_validation_errors(cx, self.code(), self.default_severity(), |e| match e {
+            ValidationError::NotRangeRestricted { rule_idx, var, .. } => Some((
+                *rule_idx,
+                format!("head variable `{var}` does not occur in any positive body literal"),
+            )),
+            _ => None,
+        });
+    }
+}
+
+/// `L103`: a variable of a negated literal is not bound by a positive
+/// literal (safety condition of the stratified extension, §XII).
+pub struct UnsafeNegation;
+
+impl Lint for UnsafeNegation {
+    fn code(&self) -> &'static str {
+        "L103"
+    }
+    fn name(&self) -> &'static str {
+        "unsafe-negation"
+    }
+    fn description(&self) -> &'static str {
+        "a variable of a negated literal is not bound by a positive literal (stratified extension, §XII)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        emit_validation_errors(cx, self.code(), self.default_severity(), |e| match e {
+            ValidationError::UnsafeNegation { rule_idx, var, .. } => Some((
+                *rule_idx,
+                format!("variable `{var}` of a negated literal is not bound by a positive literal"),
+            )),
+            _ => None,
+        });
+    }
+}
+
+/// `L104`: negation occurs inside a dependence-graph cycle, so no
+/// stratification exists (§XII).
+pub struct Unstratifiable;
+
+impl Lint for Unstratifiable {
+    fn code(&self) -> &'static str {
+        "L104"
+    }
+    fn name(&self) -> &'static str {
+        "unstratifiable"
+    }
+    fn description(&self) -> &'static str {
+        "negation inside a dependence-graph cycle: the program has no stratification (§XII)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        if program.is_positive() || cx.depgraph.stratify().is_some() {
+            return;
+        }
+        // Point at each rule whose negated literal participates in a cycle
+        // with its own head (same SCC).
+        let sccs = cx.depgraph.sccs();
+        let comp_of: BTreeMap<Pred, usize> = sccs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
+            .collect();
+        let mut flagged = false;
+        for (idx, rule) in program.rules.iter().enumerate() {
+            for neg in rule.negative_body() {
+                if comp_of.get(&neg.pred) == comp_of.get(&rule.head.pred) {
+                    cx.emit(
+                        Diagnostic::new(
+                            self.code(),
+                            self.default_severity(),
+                            format!(
+                                "`{}` is negated but depends recursively on `{}`: negation in a cycle, no stratification exists",
+                                neg, rule.head.pred
+                            ),
+                        )
+                        .at_rule(program, idx),
+                    );
+                    flagged = true;
+                }
+            }
+        }
+        if !flagged {
+            cx.emit(Diagnostic::new(
+                self.code(),
+                self.default_severity(),
+                "the program has negation in a dependence cycle and cannot be stratified"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `L110`: a body predicate has no rules and no facts — it can never hold
+/// a tuple, so every literal over it is unsatisfiable. Only fires when the
+/// file carries its own EDB (facts or `@decl`s); a bare program receives
+/// its EDB at evaluation time.
+pub struct UnderivedPredicate;
+
+impl Lint for UnderivedPredicate {
+    fn code(&self) -> &'static str {
+        "L110"
+    }
+    fn name(&self) -> &'static str {
+        "underived-predicate"
+    }
+    fn description(&self) -> &'static str {
+        "a body predicate with no rules, no facts, and no @decl can never hold a tuple"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        if !cx.input.carries_edb() {
+            return;
+        }
+        let program = cx.program();
+        let idb = program.intentional();
+        let with_facts: BTreeSet<Pred> = cx.input.facts.iter().map(|f| f.pred).collect();
+        let mut seen = BTreeSet::new();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            for (atom_idx, lit) in rule.body.iter().enumerate() {
+                let p = lit.atom.pred;
+                if idb.contains(&p)
+                    || with_facts.contains(&p)
+                    || cx.input.declared.contains(&p)
+                    || !seen.insert(p)
+                {
+                    continue;
+                }
+                cx.emit(
+                    Diagnostic::new(
+                        self.code(),
+                        self.default_severity(),
+                        format!(
+                            "predicate `{p}` is used in a body but has no rules, no facts, and no @decl — it can never hold a tuple"
+                        ),
+                    )
+                    .at_body_atom(program, idx, atom_idx)
+                    .with_suggestion(format!(
+                        "add facts or rules for `{p}`, declare it with `@decl`, or remove the literal"
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// `L111`: an intentional predicate is derived but never used in any body
+/// — dead code unless it is the query/output predicate.
+pub struct UnusedPredicate;
+
+impl Lint for UnusedPredicate {
+    fn code(&self) -> &'static str {
+        "L111"
+    }
+    fn name(&self) -> &'static str {
+        "unused-predicate"
+    }
+    fn description(&self) -> &'static str {
+        "an intentional predicate is derived but never used in any rule body"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        let used: BTreeSet<Pred> = program
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|l| l.atom.pred))
+            .collect();
+        let mut seen = BTreeSet::new();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let p = rule.head.pred;
+            if used.contains(&p) || !seen.insert(p) {
+                continue;
+            }
+            cx.emit(
+                Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!(
+                        "predicate `{p}` is derived but never used in any rule body (fine if it is the query predicate)"
+                    ),
+                )
+                .at_rule(program, idx),
+            );
+        }
+    }
+}
+
+/// `L112`: a rule whose body mentions an uninhabitable predicate — one
+/// that, by the dependence structure, can never hold a tuple — never fires.
+pub struct UnreachableRule;
+
+impl Lint for UnreachableRule {
+    fn code(&self) -> &'static str {
+        "L112"
+    }
+    fn name(&self) -> &'static str {
+        "unreachable-rule"
+    }
+    fn description(&self) -> &'static str {
+        "a rule whose body depends on a predicate that can never hold a tuple never fires (dependence graph, §III)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        // Base inhabited set: predicates with facts when the file carries
+        // its own EDB, otherwise every extensional predicate (the EDB
+        // arrives at evaluation time). `@decl`ed predicates count as
+        // inhabited either way.
+        let mut inhabited: BTreeSet<Pred> = if cx.input.carries_edb() {
+            cx.input.facts.iter().map(|f| f.pred).collect()
+        } else {
+            program.extensional()
+        };
+        inhabited.extend(cx.input.declared.iter().copied());
+        // Least fixpoint: a head becomes inhabited when some rule for it
+        // has every *positive* body predicate inhabited (negated literals
+        // can hold vacuously).
+        loop {
+            let before = inhabited.len();
+            for rule in &program.rules {
+                if rule.positive_body().all(|a| inhabited.contains(&a.pred)) {
+                    inhabited.insert(rule.head.pred);
+                }
+            }
+            if inhabited.len() == before {
+                break;
+            }
+        }
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let blockers: Vec<Pred> = rule
+                .positive_body()
+                .map(|a| a.pred)
+                .filter(|p| !inhabited.contains(p))
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if blockers.is_empty() {
+                continue;
+            }
+            let list = blockers
+                .iter()
+                .map(|p| format!("`{p}`"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            cx.emit(
+                Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!("rule can never fire: {list} can never hold a tuple"),
+                )
+                .at_rule(program, idx),
+            );
+        }
+    }
+}
+
+/// `L120`: a variable that occurs exactly once in a rule joins nothing and
+/// constrains nothing — usually a typo. `_`-prefixed names are exempt.
+pub struct SingletonVariable;
+
+impl Lint for SingletonVariable {
+    fn code(&self) -> &'static str {
+        "L120"
+    }
+    fn name(&self) -> &'static str {
+        "singleton-variable"
+    }
+    fn description(&self) -> &'static str {
+        "a variable occurring exactly once joins nothing — usually a typo (prefix with `_` to silence)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let mut count: BTreeMap<datalog_ast::Var, usize> = BTreeMap::new();
+            for v in rule.head.vars() {
+                *count.entry(v).or_default() += 1;
+            }
+            for lit in &rule.body {
+                for v in lit.atom.vars() {
+                    *count.entry(v).or_default() += 1;
+                }
+            }
+            let head_vars: BTreeSet<_> = rule.head.vars().collect();
+            for (v, n) in count {
+                if n != 1 || v.name().starts_with('_') {
+                    continue;
+                }
+                // A head-only singleton is a range-restriction error and is
+                // already reported as L102.
+                if head_vars.contains(&v) {
+                    continue;
+                }
+                let atom_idx = rule
+                    .body
+                    .iter()
+                    .position(|l| l.atom.vars().any(|w| w == v))
+                    .expect("singleton occurs in some body literal");
+                cx.emit(
+                    Diagnostic::new(
+                        self.code(),
+                        self.default_severity(),
+                        format!("variable `{}` occurs only once in this rule", v.name()),
+                    )
+                    .at_body_atom(program, idx, atom_idx)
+                    .with_suggestion(format!(
+                        "rename to `_{}` if the single occurrence is intentional",
+                        v.name()
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// `L121`: the positive body literals split into variable-disjoint groups,
+/// so the rule computes a cartesian product.
+pub struct CartesianProduct;
+
+impl Lint for CartesianProduct {
+    fn code(&self) -> &'static str {
+        "L121"
+    }
+    fn name(&self) -> &'static str {
+        "cartesian-product"
+    }
+    fn description(&self) -> &'static str {
+        "body literals share no variables, so the rule joins a cartesian product (quadratic or worse blowup)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            // Union-find over positive body literals that contain variables;
+            // two literals join when they share a variable. Ground literals
+            // are cheap guards, not product factors.
+            let lits: Vec<(usize, BTreeSet<datalog_ast::Var>)> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.is_positive())
+                .map(|(i, l)| (i, l.atom.vars().collect::<BTreeSet<_>>()))
+                .filter(|(_, vs)| !vs.is_empty())
+                .collect();
+            if lits.len() < 2 {
+                continue;
+            }
+            let mut comp: Vec<usize> = (0..lits.len()).collect();
+            fn find(comp: &mut Vec<usize>, i: usize) -> usize {
+                if comp[i] != i {
+                    let root = find(comp, comp[i]);
+                    comp[i] = root;
+                }
+                comp[i]
+            }
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    if !lits[i].1.is_disjoint(&lits[j].1) {
+                        let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
+                        comp[ri] = rj;
+                    }
+                }
+            }
+            let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (i, (atom_idx, _)) in lits.iter().enumerate() {
+                let root = find(&mut comp, i);
+                groups.entry(root).or_default().push(*atom_idx);
+            }
+            if groups.len() < 2 {
+                continue;
+            }
+            let rendered: Vec<String> = groups
+                .values()
+                .map(|g| {
+                    let atoms: Vec<String> = g.iter().map(|&i| rule.body[i].to_string()).collect();
+                    format!("{{{}}}", atoms.join(", "))
+                })
+                .collect();
+            cx.emit(
+                Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!(
+                        "body is a cartesian product of {} variable-disjoint groups: {}",
+                        groups.len(),
+                        rendered.join(" × ")
+                    ),
+                )
+                .at_rule(program, idx)
+                .with_suggestion(
+                    "join the groups through a shared variable, or split the rule if the product is intended",
+                ),
+            );
+        }
+    }
+}
+
+/// `L122`: the same literal occurs twice in one body. The duplicate is
+/// redundant by Fig. 1 (the identity homomorphism), but this structural
+/// check catches it without any saturation.
+pub struct DuplicateLiteral;
+
+impl Lint for DuplicateLiteral {
+    fn code(&self) -> &'static str {
+        "L122"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-literal"
+    }
+    fn description(&self) -> &'static str {
+        "a body literal occurs twice — redundant by Fig. 1 with the identity homomorphism (§VII)"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+            for (atom_idx, lit) in rule.body.iter().enumerate() {
+                let key = lit.to_string();
+                match seen.get(&key) {
+                    Some(&first) => {
+                        cx.emit(
+                            Diagnostic::new(
+                                self.code(),
+                                self.default_severity(),
+                                format!(
+                                    "literal `{key}` duplicates body literal {first} of the same rule"
+                                ),
+                            )
+                            .at_body_atom(program, idx, atom_idx)
+                            .with_suggestion("remove the duplicate literal"),
+                        );
+                    }
+                    None => {
+                        seen.insert(key, atom_idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `L123`: a rule (with a non-empty body) whose head contains no variables
+/// derives at most one ground fact.
+pub struct ConstantOnlyHead;
+
+impl Lint for ConstantOnlyHead {
+    fn code(&self) -> &'static str {
+        "L123"
+    }
+    fn name(&self) -> &'static str {
+        "constant-only-head"
+    }
+    fn description(&self) -> &'static str {
+        "a rule with a constant-only head derives at most one ground fact — fine as a boolean test, suspicious otherwise"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Note
+    }
+    fn run(&self, cx: &mut LintContext<'_>) {
+        let program = cx.program();
+        for (idx, rule) in program.rules.iter().enumerate() {
+            if rule.body.is_empty() || rule.head.vars().next().is_some() {
+                continue;
+            }
+            cx.emit(
+                Diagnostic::new(
+                    self.code(),
+                    self.default_severity(),
+                    format!(
+                        "head `{}` contains no variables: the rule derives at most one ground fact",
+                        rule.head
+                    ),
+                )
+                .at_rule(program, idx),
+            );
+        }
+    }
+}

@@ -13,7 +13,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(pred: impl Into<Pred>, terms: Vec<Term>) -> Atom {
-        Atom { pred: pred.into(), terms }
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -49,7 +52,10 @@ impl Atom {
     /// Convert to a [`GroundAtom`]; returns `None` if any term is a variable.
     pub fn to_ground(&self) -> Option<GroundAtom> {
         let consts: Option<Box<[Const]>> = self.terms.iter().map(Term::as_const).collect();
-        Some(GroundAtom { pred: self.pred, tuple: consts? })
+        Some(GroundAtom {
+            pred: self.pred,
+            tuple: consts?,
+        })
     }
 }
 
@@ -85,11 +91,17 @@ pub struct Literal {
 
 impl Literal {
     pub fn pos(atom: Atom) -> Literal {
-        Literal { atom, negated: false }
+        Literal {
+            atom,
+            negated: false,
+        }
     }
 
     pub fn neg(atom: Atom) -> Literal {
-        Literal { atom, negated: true }
+        Literal {
+            atom,
+            negated: true,
+        }
     }
 
     pub fn is_positive(&self) -> bool {
@@ -127,7 +139,10 @@ pub struct GroundAtom {
 
 impl GroundAtom {
     pub fn new(pred: impl Into<Pred>, tuple: impl Into<Box<[Const]>>) -> GroundAtom {
-        GroundAtom { pred: pred.into(), tuple: tuple.into() }
+        GroundAtom {
+            pred: pred.into(),
+            tuple: tuple.into(),
+        }
     }
 
     pub fn arity(&self) -> usize {
@@ -136,7 +151,10 @@ impl GroundAtom {
 
     /// View as a (non-ground-typed) [`Atom`].
     pub fn to_atom(&self) -> Atom {
-        Atom { pred: self.pred, terms: self.tuple.iter().map(|&c| Term::Const(c)).collect() }
+        Atom {
+            pred: self.pred,
+            terms: self.tuple.iter().map(|&c| Term::Const(c)).collect(),
+        }
     }
 
     /// True if the tuple contains a labelled null.
@@ -180,7 +198,10 @@ mod tests {
 
     #[test]
     fn atom_vars_and_consts() {
-        let a = atom("g", [Term::var("X"), Term::int(3), Term::var("X"), Term::var("Y")]);
+        let a = atom(
+            "g",
+            [Term::var("X"), Term::int(3), Term::var("X"), Term::var("Y")],
+        );
         assert_eq!(a.arity(), 4);
         assert_eq!(a.vars().count(), 3);
         assert_eq!(a.distinct_vars(), vec![Var::new("X"), Var::new("Y")]);

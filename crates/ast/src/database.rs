@@ -36,7 +36,10 @@ impl Database {
 
     /// Insert a ground atom; returns `true` if it was new.
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
-        self.relations.entry(atom.pred).or_default().insert(atom.tuple)
+        self.relations
+            .entry(atom.pred)
+            .or_default()
+            .insert(atom.tuple)
     }
 
     /// Insert a raw tuple under `pred`; returns `true` if it was new.
@@ -46,15 +49,21 @@ impl Database {
 
     /// Remove a ground atom; returns `true` if it was present.
     pub fn remove(&mut self, atom: &GroundAtom) -> bool {
-        self.relations.get_mut(&atom.pred).is_some_and(|rel| rel.remove(&atom.tuple))
+        self.relations
+            .get_mut(&atom.pred)
+            .is_some_and(|rel| rel.remove(&atom.tuple))
     }
 
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.relations.get(&atom.pred).is_some_and(|rel| rel.contains(&atom.tuple))
+        self.relations
+            .get(&atom.pred)
+            .is_some_and(|rel| rel.contains(&atom.tuple))
     }
 
     pub fn contains_tuple(&self, pred: Pred, tuple: &[Const]) -> bool {
-        self.relations.get(&pred).is_some_and(|rel| rel.contains(tuple))
+        self.relations
+            .get(&pred)
+            .is_some_and(|rel| rel.contains(tuple))
     }
 
     /// The relation for `pred` (empty if absent).
@@ -69,7 +78,10 @@ impl Database {
 
     /// Predicates with at least one tuple.
     pub fn predicates(&self) -> impl Iterator<Item = Pred> + '_ {
-        self.relations.iter().filter(|(_, r)| !r.is_empty()).map(|(&p, _)| p)
+        self.relations
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(&p, _)| p)
     }
 
     /// Total number of ground atoms.
@@ -84,7 +96,10 @@ impl Database {
     /// Iterate all ground atoms.
     pub fn iter(&self) -> impl Iterator<Item = GroundAtom> + '_ {
         self.relations.iter().flat_map(|(&pred, rel)| {
-            rel.iter().map(move |t| GroundAtom { pred, tuple: t.clone() })
+            rel.iter().map(move |t| GroundAtom {
+                pred,
+                tuple: t.clone(),
+            })
         })
     }
 
@@ -112,10 +127,12 @@ impl Database {
 
     /// Subset test: every ground atom of `self` is in `other`.
     pub fn is_subset_of(&self, other: &Database) -> bool {
-        self.relations.iter().all(|(pred, rel)| match other.relations.get(pred) {
-            Some(orel) => rel.is_subset(orel),
-            None => rel.is_empty(),
-        })
+        self.relations
+            .iter()
+            .all(|(pred, rel)| match other.relations.get(pred) {
+                Some(orel) => rel.is_subset(orel),
+                None => rel.is_empty(),
+            })
     }
 
     /// Restrict to the given predicates (e.g. projecting out the IDB part).
@@ -133,13 +150,20 @@ impl Database {
     /// All constants appearing anywhere in the database — the *active
     /// domain*. Used by brute-force model enumeration in tests.
     pub fn active_domain(&self) -> BTreeSet<Const> {
-        self.relations.values().flatten().flat_map(|t| t.iter().copied()).collect()
+        self.relations
+            .values()
+            .flatten()
+            .flat_map(|t| t.iter().copied())
+            .collect()
     }
 
     /// True if some tuple contains a labelled null (relevant after an
     /// embedded-tgd chase, §VIII).
     pub fn has_nulls(&self) -> bool {
-        self.relations.values().flatten().any(|t| t.iter().any(Const::is_null))
+        self.relations
+            .values()
+            .flatten()
+            .any(|t| t.iter().any(Const::is_null))
     }
 }
 
@@ -185,7 +209,10 @@ mod tests {
     fn insert_and_contains() {
         let mut db = Database::new();
         assert!(db.insert(fact("a", [1, 2])));
-        assert!(!db.insert(fact("a", [1, 2])), "duplicate insert reports false");
+        assert!(
+            !db.insert(fact("a", [1, 2])),
+            "duplicate insert reports false"
+        );
         assert!(db.contains(&fact("a", [1, 2])));
         assert!(!db.contains(&fact("a", [2, 1])));
         assert!(!db.contains(&fact("b", [1, 2])));
@@ -196,7 +223,10 @@ mod tests {
     fn remove_atoms() {
         let mut db = Database::from_atoms([fact("a", [1, 2]), fact("a", [3, 4])]);
         assert!(db.remove(&fact("a", [1, 2])));
-        assert!(!db.remove(&fact("a", [1, 2])), "double remove reports false");
+        assert!(
+            !db.remove(&fact("a", [1, 2])),
+            "double remove reports false"
+        );
         assert!(!db.remove(&fact("b", [1])), "unknown predicate");
         assert_eq!(db.len(), 1);
         assert!(db.contains(&fact("a", [3, 4])));

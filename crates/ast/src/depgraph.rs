@@ -34,13 +34,20 @@ impl DepGraph {
             preds.insert(rule.head.pred);
             for lit in &rule.body {
                 preds.insert(lit.atom.pred);
-                edges.entry(lit.atom.pred).or_default().insert(rule.head.pred);
+                edges
+                    .entry(lit.atom.pred)
+                    .or_default()
+                    .insert(rule.head.pred);
                 if lit.negated {
                     negative_edges.insert((lit.atom.pred, rule.head.pred));
                 }
             }
         }
-        DepGraph { edges, negative_edges, preds: preds.into_iter().collect() }
+        DepGraph {
+            edges,
+            negative_edges,
+            preds: preds.into_iter().collect(),
+        }
     }
 
     pub fn predicates(&self) -> &[Pred] {
@@ -65,8 +72,12 @@ impl DepGraph {
             lowlink: u32,
             on_stack: bool,
         }
-        let ids: BTreeMap<Pred, usize> =
-            self.preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let ids: BTreeMap<Pred, usize> = self
+            .preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
         let succs: Vec<Vec<usize>> = self
             .preds
             .iter()
@@ -74,7 +85,14 @@ impl DepGraph {
             .collect();
 
         let n = self.preds.len();
-        let mut state = vec![NodeState { index: None, lowlink: 0, on_stack: false }; n];
+        let mut state = vec![
+            NodeState {
+                index: None,
+                lowlink: 0,
+                on_stack: false
+            };
+            n
+        ];
         let mut next_index = 0u32;
         let mut stack: Vec<usize> = Vec::new();
         let mut sccs: Vec<Vec<Pred>> = Vec::new();
@@ -137,7 +155,9 @@ impl DepGraph {
         if self.edges.get(&p).is_some_and(|s| s.contains(&p)) {
             return true;
         }
-        self.sccs().into_iter().any(|scc| scc.len() > 1 && scc.contains(&p))
+        self.sccs()
+            .into_iter()
+            .any(|scc| scc.len() > 1 && scc.contains(&p))
     }
 
     /// A program is recursive if its dependence graph has a cycle (§III).
@@ -174,14 +194,23 @@ impl DepGraph {
                 for &r in succs {
                     if comp_of[&r] == i && comp_of[&q] != i {
                         let base = stratum_of_comp[comp_of[&q]];
-                        let need = if self.negative_edges.contains(&(q, r)) { base + 1 } else { base };
+                        let need = if self.negative_edges.contains(&(q, r)) {
+                            base + 1
+                        } else {
+                            base
+                        };
                         s = s.max(need);
                     }
                 }
             }
             stratum_of_comp[i] = s;
         }
-        Some(comp_of.into_iter().map(|(p, c)| (p, stratum_of_comp[c])).collect())
+        Some(
+            comp_of
+                .into_iter()
+                .map(|(p, c)| (p, stratum_of_comp[c]))
+                .collect(),
+        )
     }
 }
 
@@ -214,7 +243,11 @@ pub fn is_recursive_rule(graph: &DepGraph, rule: &crate::rule::Rule) -> bool {
 pub fn is_linear(program: &Program) -> bool {
     let g = DepGraph::new(program);
     program.rules.iter().all(|r| {
-        r.body.iter().filter(|l| g.is_recursive_pred(l.atom.pred)).count() <= 1
+        r.body
+            .iter()
+            .filter(|l| g.is_recursive_pred(l.atom.pred))
+            .count()
+            <= 1
     })
 }
 
@@ -261,7 +294,9 @@ mod tests {
         let sccs = g.sccs();
         // e before p before q before r.
         let pos = |name: &str| {
-            sccs.iter().position(|scc| scc.contains(&Pred::new(name))).unwrap()
+            sccs.iter()
+                .position(|scc| scc.contains(&Pred::new(name)))
+                .unwrap()
         };
         assert!(pos("e") < pos("p"));
         assert!(pos("p") < pos("q"));

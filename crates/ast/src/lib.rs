@@ -14,7 +14,9 @@
 //! * [`Tgd`]s — tuple-generating dependencies (§VIII);
 //! * [`Subst`]itutions with matching, unification, and renaming;
 //! * a [`parse`]r and `Display`-based pretty-printer for a Prolog-style
-//!   concrete syntax;
+//!   concrete syntax; parsed rules carry optional source [`span`]s
+//!   (per-rule and per-literal line:col) consumed by `datalog-analysis`
+//!   diagnostics — equality and hashing ignore them;
 //! * [`mod@validate`]: range restriction, negation safety, arity consistency;
 //! * [`schema`]: optional typed relation declarations (`@decl p(int, sym).`);
 //! * [`depgraph`]: dependence graph, SCCs, recursion and linearity analysis,
@@ -32,6 +34,7 @@ pub mod parse;
 pub mod program;
 pub mod rule;
 pub mod schema;
+pub mod span;
 pub mod subst;
 pub mod symbol;
 pub mod term;
@@ -48,6 +51,7 @@ pub use parse::{
 pub use program::Program;
 pub use rule::Rule;
 pub use schema::{ColType, Schema, SchemaError, SchemaSet};
+pub use span::{RuleSpans, Span};
 pub use subst::{match_atom, match_atom_into, rename_apart, unify_atoms, Subst};
 pub use symbol::{Pred, Sym, Var};
 pub use term::{Const, Term};

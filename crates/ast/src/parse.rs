@@ -25,6 +25,7 @@ use crate::database::Database;
 use crate::program::Program;
 use crate::rule::Rule;
 use crate::schema::{ColType, Schema, SchemaSet};
+use crate::span::{RuleSpans, Span};
 use crate::symbol::{Pred, Var};
 use crate::term::{Const, Term};
 use crate::tgd::Tgd;
@@ -40,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -98,11 +103,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -242,7 +256,8 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
-        text.parse::<i64>().map_err(|_| self.error(format!("integer `{text}` out of range")))
+        text.parse::<i64>()
+            .map_err(|_| self.error(format!("integer `{text}` out of range")))
     }
 }
 
@@ -277,7 +292,11 @@ impl Parser {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let (line, col) = self.here();
-        ParseError { line, col, message: message.into() }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
@@ -345,21 +364,41 @@ impl Parser {
         if self.peek() == &Tok::At {
             return self.parse_decl();
         }
+        let (head_line, head_col) = self.here();
+        let head_span = Span::new(head_line, head_col);
         let head = self.parse_atom()?;
         match self.peek() {
             Tok::Dot => {
                 self.bump();
-                Ok(Statement::Rule(Rule::new(head, Vec::new())))
+                let mut rule = Rule::new(head, Vec::new());
+                rule.spans = Some(RuleSpans {
+                    rule: head_span,
+                    head: head_span,
+                    body: Vec::new(),
+                });
+                Ok(Statement::Rule(rule))
             }
             Tok::ColonDash => {
                 self.bump();
+                let mut body_spans = vec![{
+                    let (l, c) = self.here();
+                    Span::new(l, c)
+                }];
                 let mut body = vec![self.parse_literal()?];
                 while self.peek() == &Tok::Comma {
                     self.bump();
+                    let (l, c) = self.here();
+                    body_spans.push(Span::new(l, c));
                     body.push(self.parse_literal()?);
                 }
                 self.expect(&Tok::Dot)?;
-                Ok(Statement::Rule(Rule::new(head, body)))
+                let mut rule = Rule::new(head, body);
+                rule.spans = Some(RuleSpans {
+                    rule: head_span,
+                    head: head_span,
+                    body: body_spans,
+                });
+                Ok(Statement::Rule(rule))
             }
             Tok::Ampersand | Tok::Arrow => {
                 let mut lhs = vec![head];
@@ -414,7 +453,10 @@ impl Parser {
         }
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::Dot)?;
-        Ok(Statement::Decl(Schema { pred: Pred::new(&name), columns }))
+        Ok(Statement::Decl(Schema {
+            pred: Pred::new(&name),
+            columns,
+        }))
     }
 
     fn at_eof(&self) -> bool {
@@ -520,7 +562,11 @@ pub fn parse_database(src: &str) -> Result<Database, ParseError> {
                 })
             }
             Statement::Tgd(_) => {
-                return Err(ParseError { line, col, message: "expected a ground fact, found a tgd".into() })
+                return Err(ParseError {
+                    line,
+                    col,
+                    message: "expected a ground fact, found a tgd".into(),
+                })
             }
             Statement::Decl(_) => {
                 return Err(ParseError {
@@ -574,7 +620,11 @@ pub fn parse_unit(src: &str) -> Result<Unit, ParseError> {
             Statement::Decl(schema) => {
                 if let Err(e) = unit.schemas.declare(schema) {
                     let (line, col) = p.here();
-                    return Err(ParseError { line, col, message: e.to_string() });
+                    return Err(ParseError {
+                        line,
+                        col,
+                        message: e.to_string(),
+                    });
                 }
             }
         }

@@ -126,9 +126,14 @@ impl Program {
         use crate::atom::Atom;
         use crate::symbol::Var;
         use crate::term::Term;
-        let terms: Vec<Term> =
-            (0..arity).map(|i| Term::Var(Var::fresh("t", i))).collect();
-        Rule::positive(Atom { pred: p, terms: terms.clone() }, [Atom { pred: p, terms }])
+        let terms: Vec<Term> = (0..arity).map(|i| Term::Var(Var::fresh("t", i))).collect();
+        Rule::positive(
+            Atom {
+                pred: p,
+                terms: terms.clone(),
+            },
+            [Atom { pred: p, terms }],
+        )
     }
 }
 
@@ -149,7 +154,9 @@ impl fmt::Display for Program {
 
 impl FromIterator<Rule> for Program {
     fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Program {
-        Program { rules: iter.into_iter().collect() }
+        Program {
+            rules: iter.into_iter().collect(),
+        }
     }
 }
 

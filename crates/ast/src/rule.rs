@@ -1,32 +1,68 @@
 //! Rules (Horn clauses) and their structural predicates.
 
 use crate::atom::{Atom, Literal};
+use crate::span::RuleSpans;
 use crate::symbol::Var;
 use crate::term::Const;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A Datalog rule `head :- body` (§II). The body is a conjunction of
 /// literals; in the paper's fragment all literals are positive.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// `spans` is diagnostic metadata only: it is **ignored** by `PartialEq`,
+/// `Eq`, and `Hash`, so a parsed rule compares equal to the same rule built
+/// programmatically or round-tripped through `Display`.
+#[derive(Clone)]
 pub struct Rule {
     pub head: Atom,
     pub body: Vec<Literal>,
+    /// Source positions when this rule came from the parser; `None` for
+    /// programmatically constructed rules.
+    pub spans: Option<RuleSpans>,
+}
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Rule) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Rule {}
+
+impl Hash for Rule {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.head.hash(state);
+        self.body.hash(state);
+    }
 }
 
 impl Rule {
     pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
-        Rule { head, body }
+        Rule {
+            head,
+            body,
+            spans: None,
+        }
     }
 
     /// Build a rule from a head and positive body atoms.
     pub fn positive(head: Atom, body: impl IntoIterator<Item = Atom>) -> Rule {
-        Rule { head, body: body.into_iter().map(Literal::pos).collect() }
+        Rule {
+            head,
+            body: body.into_iter().map(Literal::pos).collect(),
+            spans: None,
+        }
     }
 
     /// A fact rule: ground head, empty body.
     pub fn fact(head: Atom) -> Rule {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+            spans: None,
+        }
     }
 
     /// True if every literal in the body is positive (the paper's fragment).
@@ -36,7 +72,10 @@ impl Rule {
 
     /// The positive body atoms, in order.
     pub fn positive_body(&self) -> impl Iterator<Item = &Atom> {
-        self.body.iter().filter(|l| l.is_positive()).map(|l| &l.atom)
+        self.body
+            .iter()
+            .filter(|l| l.is_positive())
+            .map(|l| &l.atom)
     }
 
     /// The negated body atoms, in order.
@@ -81,7 +120,9 @@ impl Rule {
     pub fn is_safe(&self) -> bool {
         let bound: BTreeSet<Var> = self.positive_body().flat_map(Atom::vars).collect();
         self.is_range_restricted()
-            && self.negative_body().all(|a| a.vars().all(|v| bound.contains(&v)))
+            && self
+                .negative_body()
+                .all(|a| a.vars().all(|v| bound.contains(&v)))
     }
 
     /// True if the head predicate also occurs in the body (a self-recursive
@@ -102,7 +143,17 @@ impl Rule {
     pub fn without_body_atom(&self, idx: usize) -> Rule {
         let mut body = self.body.clone();
         body.remove(idx);
-        Rule { head: self.head.clone(), body }
+        let spans = self.spans.clone().map(|mut s| {
+            if idx < s.body.len() {
+                s.body.remove(idx);
+            }
+            s
+        });
+        Rule {
+            head: self.head.clone(),
+            body,
+            spans,
+        }
     }
 }
 

@@ -95,9 +95,20 @@ pub struct SchemaSet {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SchemaError {
     /// Predicate used with an arity different from its declaration.
-    Arity { pred: Pred, declared: usize, found: usize, site: String },
+    Arity {
+        pred: Pred,
+        declared: usize,
+        found: usize,
+        site: String,
+    },
     /// A constant of the wrong type in a declared column.
-    Type { pred: Pred, column: usize, expected: ColType, found: Const, site: String },
+    Type {
+        pred: Pred,
+        column: usize,
+        expected: ColType,
+        found: Const,
+        site: String,
+    },
     /// The same predicate declared twice with different schemas.
     Conflict { pred: Pred },
 }
@@ -105,11 +116,22 @@ pub enum SchemaError {
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchemaError::Arity { pred, declared, found, site } => write!(
+            SchemaError::Arity {
+                pred,
+                declared,
+                found,
+                site,
+            } => write!(
                 f,
                 "{site}: predicate {pred} declared with arity {declared}, used with arity {found}"
             ),
-            SchemaError::Type { pred, column, expected, found, site } => write!(
+            SchemaError::Type {
+                pred,
+                column,
+                expected,
+                found,
+                site,
+            } => write!(
                 f,
                 "{site}: {pred} column {column} declared {expected}, got constant {found}"
             ),
@@ -206,7 +228,9 @@ impl SchemaSet {
     pub fn check_database(&self, db: &Database) -> Result<(), Vec<SchemaError>> {
         let mut errors = Vec::new();
         for atom in db.iter() {
-            let Some(schema) = self.schemas.get(&atom.pred) else { continue };
+            let Some(schema) = self.schemas.get(&atom.pred) else {
+                continue;
+            };
             if schema.arity() != atom.arity() {
                 errors.push(SchemaError::Arity {
                     pred: atom.pred,
@@ -243,7 +267,10 @@ mod tests {
     use crate::parse::parse_program;
 
     fn edge_schema() -> Schema {
-        Schema { pred: Pred::new("edge"), columns: vec![ColType::Int, ColType::Int] }
+        Schema {
+            pred: Pred::new("edge"),
+            columns: vec![ColType::Int, ColType::Int],
+        }
     }
 
     #[test]
@@ -251,9 +278,14 @@ mod tests {
         let mut set = SchemaSet::new();
         set.declare(edge_schema()).unwrap();
         set.declare(edge_schema()).unwrap(); // identical re-declare is fine
-        let different =
-            Schema { pred: Pred::new("edge"), columns: vec![ColType::Sym, ColType::Sym] };
-        assert!(matches!(set.declare(different), Err(SchemaError::Conflict { .. })));
+        let different = Schema {
+            pred: Pred::new("edge"),
+            columns: vec![ColType::Sym, ColType::Sym],
+        };
+        assert!(matches!(
+            set.declare(different),
+            Err(SchemaError::Conflict { .. })
+        ));
         assert_eq!(set.len(), 1);
     }
 
@@ -265,20 +297,35 @@ mod tests {
         assert!(set.check_program(&good).is_ok());
         let bad = parse_program("path(X) :- edge(X).").unwrap();
         let errs = set.check_program(&bad).unwrap_err();
-        assert!(matches!(errs[0], SchemaError::Arity { found: 1, declared: 2, .. }));
+        assert!(matches!(
+            errs[0],
+            SchemaError::Arity {
+                found: 1,
+                declared: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn program_constant_types_checked() {
         let mut set = SchemaSet::new();
-        set.declare(Schema { pred: Pred::new("person"), columns: vec![ColType::Sym] }).unwrap();
+        set.declare(Schema {
+            pred: Pred::new("person"),
+            columns: vec![ColType::Sym],
+        })
+        .unwrap();
         let good = parse_program("adult(X) :- person(X). v(1) :- person(ann).").unwrap();
         assert!(set.check_program(&good).is_ok());
         let bad = parse_program("v(1) :- person(7).").unwrap();
         let errs = set.check_program(&bad).unwrap_err();
         assert!(matches!(
             errs[0],
-            SchemaError::Type { expected: ColType::Sym, found: Const::Int(7), .. }
+            SchemaError::Type {
+                expected: ColType::Sym,
+                found: Const::Int(7),
+                ..
+            }
         ));
     }
 

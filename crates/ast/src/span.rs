@@ -1,0 +1,67 @@
+//! Source locations for parsed rules.
+//!
+//! The lexer already tracks a line/column per token; [`Span`] records the
+//! position where a syntactic element *starts* (1-based, like compiler
+//! diagnostics). Spans are carried out-of-band on [`crate::Rule`] — as an
+//! optional side table, not inside [`crate::Atom`] — so that structural
+//! equality, hashing, and ordering of the core AST are unaffected: a parsed
+//! rule and a programmatically built one compare equal, which the
+//! optimizer's fixpoint tests rely on.
+
+use std::fmt;
+
+/// A 1-based line/column source position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source positions for one rule: the rule itself (= its head), the head
+/// atom, and each body literal in order. Only present on rules that came
+/// from the parser; `Rule`s built programmatically have `spans: None`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// Where the rule starts.
+    pub rule: Span,
+    /// Where the head atom starts (same as `rule` in the current grammar).
+    pub head: Span,
+    /// Where each body literal starts, parallel to `Rule::body`.
+    pub body: Vec<Span>,
+}
+
+impl RuleSpans {
+    /// The span of body literal `idx`, if recorded.
+    pub fn body_span(&self, idx: usize) -> Option<Span> {
+        self.body.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_lookup() {
+        let spans = RuleSpans {
+            rule: Span::new(3, 1),
+            head: Span::new(3, 1),
+            body: vec![Span::new(3, 12), Span::new(3, 22)],
+        };
+        assert_eq!(spans.rule.to_string(), "3:1");
+        assert_eq!(spans.body_span(1), Some(Span::new(3, 22)));
+        assert_eq!(spans.body_span(2), None);
+    }
+}

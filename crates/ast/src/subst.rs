@@ -75,17 +75,24 @@ impl Subst {
     }
 
     pub fn apply_atom(&self, a: &Atom) -> Atom {
-        Atom { pred: a.pred, terms: a.terms.iter().map(|&t| self.apply_term(t)).collect() }
+        Atom {
+            pred: a.pred,
+            terms: a.terms.iter().map(|&t| self.apply_term(t)).collect(),
+        }
     }
 
     pub fn apply_literal(&self, l: &Literal) -> Literal {
-        Literal { atom: self.apply_atom(&l.atom), negated: l.negated }
+        Literal {
+            atom: self.apply_atom(&l.atom),
+            negated: l.negated,
+        }
     }
 
     pub fn apply_rule(&self, r: &Rule) -> Rule {
         Rule {
             head: self.apply_atom(&r.head),
             body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+            spans: r.spans.clone(),
         }
     }
 

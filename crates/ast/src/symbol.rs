@@ -25,7 +25,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { names: Vec::new(), ids: HashMap::new() }
+        Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        }
     }
 
     fn intern(&mut self, name: &str) -> u32 {

@@ -35,7 +35,11 @@ impl Tgd {
     /// Existentially quantified variables: in the rhs but not the lhs.
     pub fn existential_vars(&self) -> BTreeSet<Var> {
         let uni = self.universal_vars();
-        self.rhs.iter().flat_map(Atom::vars).filter(|v| !uni.contains(v)).collect()
+        self.rhs
+            .iter()
+            .flat_map(Atom::vars)
+            .filter(|v| !uni.contains(v))
+            .collect()
     }
 
     /// A tgd is *full* if it has no existentially quantified variables. Full
@@ -108,7 +112,10 @@ mod tests {
     #[test]
     fn quantifier_classification() {
         let t = example11_tgd();
-        assert_eq!(t.universal_vars(), BTreeSet::from([Var::new("X"), Var::new("Z")]));
+        assert_eq!(
+            t.universal_vars(),
+            BTreeSet::from([Var::new("X"), Var::new("Z")])
+        );
         assert_eq!(t.existential_vars(), BTreeSet::from([Var::new("W")]));
         assert!(!t.is_full());
         assert!(t.is_well_formed());
@@ -130,8 +137,14 @@ mod tests {
         assert!(t.is_full());
         let rules = t.to_rules().unwrap();
         assert_eq!(rules.len(), 2);
-        assert_eq!(rules[0].to_string(), "A(X, Y, V) :- A(X, Y, Z), B(W, Y, V).");
-        assert_eq!(rules[1].to_string(), "T(W, Y, Z) :- A(X, Y, Z), B(W, Y, V).");
+        assert_eq!(
+            rules[0].to_string(),
+            "A(X, Y, V) :- A(X, Y, Z), B(W, Y, V)."
+        );
+        assert_eq!(
+            rules[1].to_string(),
+            "T(W, Y, Z) :- A(X, Y, Z), B(W, Y, V)."
+        );
     }
 
     #[test]

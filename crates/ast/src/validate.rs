@@ -17,11 +17,24 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq)]
 pub enum ValidationError {
     /// A head variable does not occur in any positive body literal (§II).
-    NotRangeRestricted { rule_idx: usize, rule: String, var: String },
+    NotRangeRestricted {
+        rule_idx: usize,
+        rule: String,
+        var: String,
+    },
     /// A variable of a negated literal is not bound by a positive literal.
-    UnsafeNegation { rule_idx: usize, rule: String, var: String },
+    UnsafeNegation {
+        rule_idx: usize,
+        rule: String,
+        var: String,
+    },
     /// The same predicate is used with two different arities.
-    ArityMismatch { pred: Pred, expected: usize, found: usize, rule_idx: usize },
+    ArityMismatch {
+        pred: Pred,
+        expected: usize,
+        found: usize,
+        rule_idx: usize,
+    },
     /// A negated literal in a context that requires a positive program
     /// (all of the paper's §VI–§XI algorithms).
     NegationNotSupported { rule_idx: usize, rule: String },
@@ -66,7 +79,12 @@ fn check_rule_arities(
 ) {
     let mut check = |pred: Pred, arity: usize| match arities.get(&pred) {
         Some(&expected) if expected != arity => {
-            errors.push(ValidationError::ArityMismatch { pred, expected, found: arity, rule_idx });
+            errors.push(ValidationError::ArityMismatch {
+                pred,
+                expected,
+                found: arity,
+                rule_idx,
+            });
         }
         Some(_) => {}
         None => {
@@ -85,8 +103,10 @@ pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
     let mut errors = Vec::new();
     let mut arities = BTreeMap::new();
     for (idx, rule) in program.rules.iter().enumerate() {
-        let bound: std::collections::BTreeSet<_> =
-            rule.positive_body().flat_map(crate::atom::Atom::vars).collect();
+        let bound: std::collections::BTreeSet<_> = rule
+            .positive_body()
+            .flat_map(crate::atom::Atom::vars)
+            .collect();
         for v in rule.head.vars() {
             if !bound.contains(&v) {
                 errors.push(ValidationError::NotRangeRestricted {
@@ -155,7 +175,10 @@ mod tests {
         // The paper's §II example: Anc(x, x) :- . is not allowed.
         let p = parse_program("anc(X, X).").unwrap();
         let errs = validate(&p).unwrap_err();
-        assert!(matches!(errs[0], ValidationError::NotRangeRestricted { .. }));
+        assert!(matches!(
+            errs[0],
+            ValidationError::NotRangeRestricted { .. }
+        ));
         // The paper's fix: bind x via Person(x).
         let fixed = parse_program("anc(X, X) :- person(X).").unwrap();
         assert!(validate(&fixed).is_ok());
@@ -171,7 +194,9 @@ mod tests {
     fn arity_mismatch_detected() {
         let p = parse_program("g(X) :- a(X, Y). h(X) :- a(X).").unwrap();
         let errs = validate(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
     }
 
     #[test]
@@ -186,7 +211,10 @@ mod tests {
         let p = parse_program("p(X) :- q(X), !r(X).").unwrap();
         assert!(validate(&p).is_ok());
         let errs = validate_positive(&p).unwrap_err();
-        assert!(matches!(errs[0], ValidationError::NegationNotSupported { .. }));
+        assert!(matches!(
+            errs[0],
+            ValidationError::NegationNotSupported { .. }
+        ));
     }
 
     #[test]
@@ -200,6 +228,8 @@ mod tests {
     fn variable_bound_only_by_negative_literal_is_not_range_restricted() {
         let p = parse_program("p(X) :- q(Y), !r(X).").unwrap();
         let errs = validate(&p).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::NotRangeRestricted { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::NotRangeRestricted { .. })));
     }
 }

@@ -3,8 +3,7 @@
 //! panic on arbitrary input.
 
 use datalog_ast::{
-    atom, parse_atom, parse_program, parse_rule, parse_tgd, Atom, Literal, Program, Rule, Term,
-    Tgd,
+    atom, parse_atom, parse_program, parse_rule, parse_tgd, Atom, Literal, Program, Rule, Term, Tgd,
 };
 use proptest::prelude::*;
 
@@ -16,8 +15,7 @@ fn pred_name() -> impl Strategy<Value = String> {
 
 /// Parser-compatible variable names (uppercase first letter).
 fn var_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["X", "Y", "Z", "W", "V0", "V1", "Who", "_u"])
-        .prop_map(str::to_owned)
+    prop::sample::select(vec!["X", "Y", "Z", "W", "V0", "V1", "Who", "_u"]).prop_map(str::to_owned)
 }
 
 /// Parser-compatible named constants.
@@ -34,21 +32,28 @@ fn term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (pred_name(), prop::collection::vec(term(), 0..4))
-        .prop_map(|(p, terms)| atom(&p, terms))
+    (pred_name(), prop::collection::vec(term(), 0..4)).prop_map(|(p, terms)| atom(&p, terms))
 }
 
 fn arb_rule() -> impl Strategy<Value = Rule> {
-    (arb_atom(), prop::collection::vec((arb_atom(), any::<bool>()), 0..4)).prop_map(
-        |(head, body)| {
+    (
+        arb_atom(),
+        prop::collection::vec((arb_atom(), any::<bool>()), 0..4),
+    )
+        .prop_map(|(head, body)| {
             Rule::new(
                 head,
                 body.into_iter()
-                    .map(|(a, neg)| if neg { Literal::neg(a) } else { Literal::pos(a) })
+                    .map(|(a, neg)| {
+                        if neg {
+                            Literal::neg(a)
+                        } else {
+                            Literal::pos(a)
+                        }
+                    })
                     .collect(),
             )
-        },
-    )
+        })
 }
 
 fn arb_program() -> impl Strategy<Value = Program> {
@@ -56,7 +61,10 @@ fn arb_program() -> impl Strategy<Value = Program> {
 }
 
 fn arb_tgd() -> impl Strategy<Value = Tgd> {
-    (prop::collection::vec(arb_atom(), 1..3), prop::collection::vec(arb_atom(), 1..3))
+    (
+        prop::collection::vec(arb_atom(), 1..3),
+        prop::collection::vec(arb_atom(), 1..3),
+    )
         .prop_map(|(lhs, rhs)| Tgd::new(lhs, rhs))
 }
 

@@ -134,14 +134,32 @@ fn bench_magic_vs_qsq(c: &mut Criterion) {
     for n in [32usize, 64] {
         let edb = standard_edb("chain", n);
         group.bench_with_input(BenchmarkId::new("magic", n), &n, |b, _| {
-            b.iter(|| datalog_engine::magic::answer(std::hint::black_box(&p), std::hint::black_box(&edb), &query));
+            b.iter(|| {
+                datalog_engine::magic::answer(
+                    std::hint::black_box(&p),
+                    std::hint::black_box(&edb),
+                    &query,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("qsq", n), &n, |b, _| {
-            b.iter(|| datalog_engine::qsq::answer(std::hint::black_box(&p), std::hint::black_box(&edb), &query));
+            b.iter(|| {
+                datalog_engine::qsq::answer(
+                    std::hint::black_box(&p),
+                    std::hint::black_box(&edb),
+                    &query,
+                )
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_join_order, bench_scc_layering, bench_incremental_vs_scratch, bench_magic_vs_qsq);
+criterion_group!(
+    benches,
+    bench_join_order,
+    bench_scc_layering,
+    bench_incremental_vs_scratch,
+    bench_magic_vs_qsq
+);
 criterion_main!(benches);

@@ -7,10 +7,10 @@
 //! containing program.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use datalog_bench::{guarded_tc, wide_rule};
 use datalog_generate::{random_program, RandomProgramSpec};
 use datalog_optimizer::{rule_contained, uniformly_contains};
+use std::time::Duration;
 
 fn bench_rule_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("containment/rule_width");
@@ -33,7 +33,12 @@ fn bench_program_size(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for rules in [2usize, 4, 8, 16] {
-        let spec = RandomProgramSpec { rules, body_len: (1, 3), var_pool: 4, ..Default::default() };
+        let spec = RandomProgramSpec {
+            rules,
+            body_len: (1, 3),
+            var_pool: 4,
+            ..Default::default()
+        };
         let p1 = random_program(&spec, 11);
         let p2 = random_program(&spec, 12);
         group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
@@ -58,11 +63,18 @@ fn bench_guarded_tc(c: &mut Criterion) {
     for k in [0usize, 2, 4, 5] {
         let p = guarded_tc(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| uniformly_contains(std::hint::black_box(&p), std::hint::black_box(&p)).unwrap());
+            b.iter(|| {
+                uniformly_contains(std::hint::black_box(&p), std::hint::black_box(&p)).unwrap()
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_rule_width, bench_program_size, bench_guarded_tc);
+criterion_group!(
+    benches,
+    bench_rule_width,
+    bench_program_size,
+    bench_guarded_tc
+);
 criterion_main!(benches);

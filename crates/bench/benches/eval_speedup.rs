@@ -9,11 +9,11 @@
 //! gap growing in the amount of planted redundancy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use datalog_bench::{guarded_tc, standard_edb};
 use datalog_engine::{naive, seminaive};
 use datalog_generate::bloated_tc;
 use datalog_optimizer::{minimize_program, optimize};
+use std::time::Duration;
 
 fn bench_seminaive_chain(c: &mut Criterion) {
     let bloated = bloated_tc(6, 99);
@@ -25,10 +25,14 @@ fn bench_seminaive_chain(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let edb = standard_edb("chain", n);
         group.bench_with_input(BenchmarkId::new("bloated", n), &n, |b, _| {
-            b.iter(|| seminaive::evaluate(std::hint::black_box(&bloated), std::hint::black_box(&edb)));
+            b.iter(|| {
+                seminaive::evaluate(std::hint::black_box(&bloated), std::hint::black_box(&edb))
+            });
         });
         group.bench_with_input(BenchmarkId::new("minimized", n), &n, |b, _| {
-            b.iter(|| seminaive::evaluate(std::hint::black_box(&minimized), std::hint::black_box(&edb)));
+            b.iter(|| {
+                seminaive::evaluate(std::hint::black_box(&minimized), std::hint::black_box(&edb))
+            });
         });
     }
     group.finish();
@@ -47,7 +51,9 @@ fn bench_naive_chain(c: &mut Criterion) {
             b.iter(|| naive::evaluate(std::hint::black_box(&bloated), std::hint::black_box(&edb)));
         });
         group.bench_with_input(BenchmarkId::new("minimized", n), &n, |b, _| {
-            b.iter(|| naive::evaluate(std::hint::black_box(&minimized), std::hint::black_box(&edb)));
+            b.iter(|| {
+                naive::evaluate(std::hint::black_box(&minimized), std::hint::black_box(&edb))
+            });
         });
     }
     group.finish();
@@ -65,14 +71,23 @@ fn bench_equivalence_phase_guards(c: &mut Criterion) {
         let (optimized, _, applied) = optimize(&guarded, 10_000).unwrap();
         assert!(!applied.is_empty());
         group.bench_with_input(BenchmarkId::new("guarded", k), &k, |b, _| {
-            b.iter(|| seminaive::evaluate(std::hint::black_box(&guarded), std::hint::black_box(&edb)));
+            b.iter(|| {
+                seminaive::evaluate(std::hint::black_box(&guarded), std::hint::black_box(&edb))
+            });
         });
         group.bench_with_input(BenchmarkId::new("optimized", k), &k, |b, _| {
-            b.iter(|| seminaive::evaluate(std::hint::black_box(&optimized), std::hint::black_box(&edb)));
+            b.iter(|| {
+                seminaive::evaluate(std::hint::black_box(&optimized), std::hint::black_box(&edb))
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_seminaive_chain, bench_naive_chain, bench_equivalence_phase_guards);
+criterion_group!(
+    benches,
+    bench_seminaive_chain,
+    bench_naive_chain,
+    bench_equivalence_phase_guards
+);
 criterion_main!(benches);

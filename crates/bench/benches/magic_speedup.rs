@@ -6,12 +6,12 @@
 //! plus magic vs full evaluation as a sanity baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use datalog_ast::parse_atom;
 use datalog_bench::standard_edb;
 use datalog_engine::{magic, seminaive};
 use datalog_generate::bloated_tc;
 use datalog_optimizer::minimize_program;
+use std::time::Duration;
 
 fn bench_magic_minimized_vs_bloated(c: &mut Criterion) {
     let bloated = bloated_tc(6, 123);
@@ -24,10 +24,22 @@ fn bench_magic_minimized_vs_bloated(c: &mut Criterion) {
     for n in [16usize, 32, 64] {
         let edb = standard_edb("chain", n);
         group.bench_with_input(BenchmarkId::new("magic+bloated", n), &n, |b, _| {
-            b.iter(|| magic::answer(std::hint::black_box(&bloated), std::hint::black_box(&edb), &query));
+            b.iter(|| {
+                magic::answer(
+                    std::hint::black_box(&bloated),
+                    std::hint::black_box(&edb),
+                    &query,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("magic+minimized", n), &n, |b, _| {
-            b.iter(|| magic::answer(std::hint::black_box(&minimized), std::hint::black_box(&edb), &query));
+            b.iter(|| {
+                magic::answer(
+                    std::hint::black_box(&minimized),
+                    std::hint::black_box(&edb),
+                    &query,
+                )
+            });
         });
     }
     group.finish();
@@ -49,14 +61,26 @@ fn bench_magic_vs_full(c: &mut Criterion) {
             edb.insert(datalog_ast::fact("a", [x + 1000, y + 1000]));
         }
         group.bench_with_input(BenchmarkId::new("magic", n), &n, |b, _| {
-            b.iter(|| magic::answer(std::hint::black_box(&program), std::hint::black_box(&edb), &query));
+            b.iter(|| {
+                magic::answer(
+                    std::hint::black_box(&program),
+                    std::hint::black_box(&edb),
+                    &query,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
-            b.iter(|| seminaive::evaluate(std::hint::black_box(&program), std::hint::black_box(&edb)));
+            b.iter(|| {
+                seminaive::evaluate(std::hint::black_box(&program), std::hint::black_box(&edb))
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_magic_minimized_vs_bloated, bench_magic_vs_full);
+criterion_group!(
+    benches,
+    bench_magic_minimized_vs_bloated,
+    bench_magic_vs_full
+);
 criterion_main!(benches);

@@ -7,11 +7,11 @@
 //! flat in EDB size while evaluation cost grows (E12).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use datalog_bench::wide_rule;
 use datalog_engine::seminaive;
 use datalog_generate::{bloated_tc, edge_db, GraphKind};
 use datalog_optimizer::{minimize_program, minimize_rule};
+use std::time::Duration;
 
 fn bench_fig1_rule_width(c: &mut Criterion) {
     // E5: Fig. 1 on Example-7-shaped rules of growing width.
@@ -54,8 +54,7 @@ fn bench_e12_program_vs_edb_cost(c: &mut Criterion) {
     // tractable — the claim is about *where the costs live*, not about
     // redundancy (that is E10).
     let to_minimize = bloated_tc(4, 99);
-    let to_evaluate =
-        datalog_generate::transitive_closure(datalog_generate::TcVariant::LeftLinear);
+    let to_evaluate = datalog_generate::transitive_closure(datalog_generate::TcVariant::LeftLinear);
     let mut group = c.benchmark_group("minimize/e12_cost_split");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
@@ -69,12 +68,20 @@ fn bench_e12_program_vs_edb_cost(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |b, _| {
             b.iter(|| {
-                seminaive::evaluate(std::hint::black_box(&to_evaluate), std::hint::black_box(&edb))
+                seminaive::evaluate(
+                    std::hint::black_box(&to_evaluate),
+                    std::hint::black_box(&edb),
+                )
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_fig1_rule_width, bench_fig2_program_size, bench_e12_program_vs_edb_cost);
+criterion_group!(
+    benches,
+    bench_fig1_rule_width,
+    bench_fig2_program_size,
+    bench_e12_program_vs_edb_cost
+);
 criterion_main!(benches);

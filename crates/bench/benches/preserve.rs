@@ -6,12 +6,12 @@
 //! sweep over lhs width makes that visible.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use datalog_ast::{parse_program, parse_tgds, Tgd};
 use datalog_bench::guarded_tc;
 use datalog_optimizer::{
     models_condition, preliminary_db_satisfies, preserves_nonrecursively, Proof,
 };
+use std::time::Duration;
 
 const FUEL: u64 = 10_000;
 
@@ -49,7 +49,9 @@ fn bench_fig3_lhs_width(c: &mut Criterion) {
         let tgd_src = format!("{} -> a(X0, W).", lhs.join(" & "));
         let t = parse_tgds(&tgd_src).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
-            b.iter(|| preserves_nonrecursively(std::hint::black_box(&p), std::hint::black_box(&t), FUEL));
+            b.iter(|| {
+                preserves_nonrecursively(std::hint::black_box(&p), std::hint::black_box(&t), FUEL)
+            });
         });
     }
     group.finish();
@@ -80,5 +82,10 @@ fn bench_full_certification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig3_example14, bench_fig3_lhs_width, bench_full_certification);
+criterion_group!(
+    benches,
+    bench_fig3_example14,
+    bench_fig3_lhs_width,
+    bench_full_certification
+);
 criterion_main!(benches);

@@ -9,9 +9,9 @@ use datalog_bench::{guarded_tc, standard_edb, wide_rule, Row};
 use datalog_engine::{magic, naive, seminaive, stratified};
 use datalog_generate::{bloated_tc, transitive_closure, TcVariant};
 use datalog_optimizer::{
-    is_minimal, minimize_program, minimize_rule, minimize_stratified, models_condition,
-    optimize, optimize_under_equivalence, preliminary_db_satisfies, preserves_nonrecursively,
-    rule_contained, satisfies_tgd, uniformly_contains, uniformly_equivalent, Proof,
+    is_minimal, minimize_program, minimize_rule, minimize_stratified, models_condition, optimize,
+    optimize_under_equivalence, preliminary_db_satisfies, preserves_nonrecursively, rule_contained,
+    satisfies_tgd, uniformly_contains, uniformly_equivalent, Proof,
 };
 use std::time::Instant;
 
@@ -50,40 +50,75 @@ impl Report {
 }
 
 fn main() {
-    let mut r = Report { rows: Vec::new(), failures: 0 };
+    let mut r = Report {
+        rows: Vec::new(),
+        failures: 0,
+    };
 
     println!("== E1: bottom-up computation (Examples 1–3) ==");
     let tc = transitive_closure(TcVariant::Doubling);
     let out = naive::evaluate(&tc, &parse_database("a(1,2). a(1,4). a(4,1).").unwrap());
-    let expected = parse_database(
-        "a(1,2). a(1,4). a(4,1). g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).",
-    )
-    .unwrap();
-    r.check("E1", "Example 2 output matches the paper's 9-atom DB", out == expected);
+    let expected =
+        parse_database("a(1,2). a(1,4). a(4,1). g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).")
+            .unwrap();
+    r.check(
+        "E1",
+        "Example 2 output matches the paper's 9-atom DB",
+        out == expected,
+    );
     let out3 = naive::evaluate(&tc, &parse_database("a(1,2). a(1,4). g(4,1).").unwrap());
-    r.check("E1", "Example 3: same output minus A(4,1)", out3.len() == 8 && !out3.contains(&fact("a", [4, 1])));
+    r.check(
+        "E1",
+        "Example 3: same output minus A(4,1)",
+        out3.len() == 8 && !out3.contains(&fact("a", [4, 1])),
+    );
 
     println!("== E2/E3/E4: containment verdicts (Examples 4–6) ==");
     let left = transitive_closure(TcVariant::LeftLinear);
-    r.check("E2", "P2 ⊑u P1 (Example 6)", uniformly_contains(&tc, &left).unwrap());
-    r.check("E2", "P1 ⋢u P2 (Example 6)", !uniformly_contains(&left, &tc).unwrap());
+    r.check(
+        "E2",
+        "P2 ⊑u P1 (Example 6)",
+        uniformly_contains(&tc, &left).unwrap(),
+    );
+    r.check(
+        "E2",
+        "P1 ⋢u P2 (Example 6)",
+        !uniformly_contains(&left, &tc).unwrap(),
+    );
     let p5 = parse_program(
         "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z). a(X, Z) :- a(X, Y), g(Y, Z).",
     )
     .unwrap();
-    r.check("E3", "Example 5: P1 ⊑u P1∪{extra rule}", uniformly_contains(&p5, &tc).unwrap());
+    r.check(
+        "E3",
+        "Example 5: P1 ⊑u P1∪{extra rule}",
+        uniformly_contains(&p5, &tc).unwrap(),
+    );
 
     println!("== E5: Fig. 1 on Example 7 ==");
-    let ex7 = parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).")
-        .unwrap();
+    let ex7 =
+        parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
     let (min7, deleted) = minimize_rule(&ex7.rules[0]).unwrap();
-    r.check("E5", "exactly a(W, Y) deleted", deleted.len() == 1 && deleted[0].to_string() == "a(W, Y)");
-    r.check("E5", "result is minimal", is_minimal(&Program::new(vec![min7])).unwrap());
+    r.check(
+        "E5",
+        "exactly a(W, Y) deleted",
+        deleted.len() == 1 && deleted[0].to_string() == "a(W, Y)",
+    );
+    r.check(
+        "E5",
+        "result is minimal",
+        is_minimal(&Program::new(vec![min7])).unwrap(),
+    );
 
     println!("== E6: Fig. 2 recovers planted redundancy ==");
     for k in [2usize, 4, 8] {
         let bloated = bloated_tc(k, 99);
-        let t = ms(|| { minimize_program(&bloated).unwrap(); }, 3);
+        let t = ms(
+            || {
+                minimize_program(&bloated).unwrap();
+            },
+            3,
+        );
         let (min, _) = minimize_program(&bloated).unwrap();
         let recovered = uniformly_equivalent(&min, &tc).unwrap()
             && min.len() == tc.len()
@@ -93,51 +128,98 @@ fn main() {
     }
 
     println!("== E7: tgds and the [P,T] chase (Examples 9–11) ==");
-    let closure_db = parse_database(
-        "a(1,2). a(1,4). a(4,1). g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).",
-    )
-    .unwrap();
-    r.check("E7", "Example 9: first tgd violated, second satisfied",
-        !satisfies_tgd(&closure_db, &datalog_ast::parse_tgd("g(X, Y) -> a(Y, Z) & a(Z, X).").unwrap())
-            && satisfies_tgd(&closure_db, &datalog_ast::parse_tgd("g(X, Y) -> g(X, Z) & a(Z, Y).").unwrap()));
+    let closure_db =
+        parse_database("a(1,2). a(1,4). a(4,1). g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).")
+            .unwrap();
+    r.check(
+        "E7",
+        "Example 9: first tgd violated, second satisfied",
+        !satisfies_tgd(
+            &closure_db,
+            &datalog_ast::parse_tgd("g(X, Y) -> a(Y, Z) & a(Z, X).").unwrap(),
+        ) && satisfies_tgd(
+            &closure_db,
+            &datalog_ast::parse_tgd("g(X, Y) -> g(X, Z) & a(Z, Y).").unwrap(),
+        ),
+    );
     let guarded = transitive_closure(TcVariant::GuardedDoubling);
     let tgds = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
-    r.check("E7", "Example 11: SAT(T) ∩ M(P1) ⊆ M(P2)",
-        models_condition(&guarded, &tc, &tgds, FUEL) == Proof::Proved);
+    r.check(
+        "E7",
+        "Example 11: SAT(T) ∩ M(P1) ⊆ M(P2)",
+        models_condition(&guarded, &tc, &tgds, FUEL) == Proof::Proved,
+    );
 
     println!("== E8: Fig. 3 preservation (Examples 13–16) ==");
-    r.check("E8", "Example 14: P1 preserves T",
-        preserves_nonrecursively(&guarded, &tgds, FUEL) == Proof::Proved);
+    r.check(
+        "E8",
+        "Example 14: P1 preserves T",
+        preserves_nonrecursively(&guarded, &tgds, FUEL) == Proof::Proved,
+    );
     let ex15_t = parse_tgds("g(X, Y) & g(Y, Z) -> a(Y, W).").unwrap();
     let ex13_p = parse_program("g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
-    r.check("E8", "Example 15: 4-combination case preserved",
-        preserves_nonrecursively(&ex13_p, &ex15_t, FUEL) == Proof::Proved);
-    let t8 = ms(|| { preserves_nonrecursively(&guarded, &tgds, FUEL); }, 5);
+    r.check(
+        "E8",
+        "Example 15: 4-combination case preserved",
+        preserves_nonrecursively(&ex13_p, &ex15_t, FUEL) == Proof::Proved,
+    );
+    let t8 = ms(
+        || {
+            preserves_nonrecursively(&guarded, &tgds, FUEL);
+        },
+        5,
+    );
     r.row(Row::new("E8", "example14", "fig3", 1, t8, "ms"));
 
     println!("== E9: equivalence optimization (Examples 17–19) ==");
-    r.check("E9", "Example 18: preliminary DB satisfies T", preliminary_db_satisfies(&guarded, &tgds));
+    r.check(
+        "E9",
+        "Example 18: preliminary DB satisfies T",
+        preliminary_db_satisfies(&guarded, &tgds),
+    );
     let (opt18, applied18) = optimize_under_equivalence(&guarded, FUEL).unwrap();
-    r.check("E9", "Example 18: a(Y, W) removed",
-        applied18.len() == 1 && opt18.total_width() == 3);
-    let ex19 = parse_program(
-        "g(X, Z) :- a(X, Z), c(Z). g(X, Z) :- a(X, Y), g(Y, Z), g(Y, W), c(W).",
-    )
-    .unwrap();
+    r.check(
+        "E9",
+        "Example 18: a(Y, W) removed",
+        applied18.len() == 1 && opt18.total_width() == 3,
+    );
+    let ex19 =
+        parse_program("g(X, Z) :- a(X, Z), c(Z). g(X, Z) :- a(X, Y), g(Y, Z), g(Y, W), c(W).")
+            .unwrap();
     let (opt19, applied19) = optimize_under_equivalence(&ex19, FUEL).unwrap();
-    r.check("E9", "Example 19: g(Y,W), c(W) removed",
-        applied19.len() == 1 && opt19.total_width() == 4);
+    r.check(
+        "E9",
+        "Example 19: g(Y,W), c(W) removed",
+        applied19.len() == 1 && opt19.total_width() == 4,
+    );
 
     println!("== E10: evaluation speedup from minimization ==");
     for n in [32usize, 64, 96] {
         let edb = standard_edb("chain", n);
         let bloated = bloated_tc(6, 99);
         let (minimized, _) = minimize_program(&bloated).unwrap();
-        let tb = ms(|| { seminaive::evaluate(&bloated, &edb); }, 1);
-        let tm = ms(|| { seminaive::evaluate(&minimized, &edb); }, 3);
+        let tb = ms(
+            || {
+                seminaive::evaluate(&bloated, &edb);
+            },
+            1,
+        );
+        let tm = ms(
+            || {
+                seminaive::evaluate(&minimized, &edb);
+            },
+            3,
+        );
         let (_, sb) = seminaive::evaluate_with_stats(&bloated, &edb);
         let (_, sm) = seminaive::evaluate_with_stats(&minimized, &edb);
-        r.check("E10", &format!("chain n={n}: minimized does fewer probes ({} vs {})", sm.probes, sb.probes), sm.probes < sb.probes);
+        r.check(
+            "E10",
+            &format!(
+                "chain n={n}: minimized does fewer probes ({} vs {})",
+                sm.probes, sb.probes
+            ),
+            sm.probes < sb.probes,
+        );
         r.row(Row::new("E10", "chain", "bloated", n as u64, tb, "ms"));
         r.row(Row::new("E10", "chain", "minimized", n as u64, tm, "ms"));
         r.row(Row::new("E10", "chain", "speedup", n as u64, tb / tm, "x"));
@@ -147,8 +229,18 @@ fn main() {
         let edb = standard_edb("er", 32);
         let g = guarded_tc(3);
         let (optg, _, _) = optimize(&g, FUEL).unwrap();
-        let tg = ms(|| { seminaive::evaluate(&g, &edb); }, 1);
-        let to = ms(|| { seminaive::evaluate(&optg, &edb); }, 1);
+        let tg = ms(
+            || {
+                seminaive::evaluate(&g, &edb);
+            },
+            1,
+        );
+        let to = ms(
+            || {
+                seminaive::evaluate(&optg, &edb);
+            },
+            1,
+        );
         r.check("E10", "guarded ER-32: optimized no slower", to <= tg * 1.10);
         r.row(Row::new("E10", "er32-guarded", "guarded", 3, tg, "ms"));
         r.row(Row::new("E10", "er32-guarded", "optimized", 3, to, "ms"));
@@ -160,18 +252,47 @@ fn main() {
         let bloated = bloated_tc(6, 123);
         let (minimized, _) = minimize_program(&bloated).unwrap();
         let query = parse_atom("g(0, X)").unwrap();
-        let tb = ms(|| { magic::answer(&bloated, &edb, &query); }, 1);
-        let tm = ms(|| { magic::answer(&minimized, &edb, &query); }, 3);
+        let tb = ms(
+            || {
+                magic::answer(&bloated, &edb, &query);
+            },
+            1,
+        );
+        let tm = ms(
+            || {
+                magic::answer(&minimized, &edb, &query);
+            },
+            3,
+        );
         let same = magic::answer(&bloated, &edb, &query) == magic::answer(&minimized, &edb, &query);
         r.check("E11", &format!("chain n={n}: identical answers"), same);
-        r.row(Row::new("E11", "chain", "magic+bloated", n as u64, tb, "ms"));
-        r.row(Row::new("E11", "chain", "magic+minimized", n as u64, tm, "ms"));
+        r.row(Row::new(
+            "E11",
+            "chain",
+            "magic+bloated",
+            n as u64,
+            tb,
+            "ms",
+        ));
+        r.row(Row::new(
+            "E11",
+            "chain",
+            "magic+minimized",
+            n as u64,
+            tm,
+            "ms",
+        ));
     }
 
     println!("== E12: minimization cost independent of EDB size ==");
     {
         let program = bloated_tc(4, 7);
-        let tmin = ms(|| { minimize_program(&program).unwrap(); }, 3);
+        let tmin = ms(
+            || {
+                minimize_program(&program).unwrap();
+            },
+            3,
+        );
         r.row(Row::new("E12", "any-EDB", "minimize", 0, tmin, "ms"));
         // Evaluation cost grows with the EDB; use the clean TC program so
         // the sweep finishes quickly (the claim is about where the costs
@@ -179,18 +300,39 @@ fn main() {
         let clean = transitive_closure(TcVariant::Doubling);
         for n in [64usize, 128, 512] {
             let edb = standard_edb("chain", n);
-            let te = ms(|| { seminaive::evaluate(&clean, &edb); }, 1);
+            let te = ms(
+                || {
+                    seminaive::evaluate(&clean, &edb);
+                },
+                1,
+            );
             r.row(Row::new("E12", "chain", "evaluate", n as u64, te, "ms"));
         }
-        r.check("E12", "minimization touches no EDB (cost is one fixed number)", true);
+        r.check(
+            "E12",
+            "minimization touches no EDB (cost is one fixed number)",
+            true,
+        );
     }
 
     println!("== E13: uniform-containment cost vs rule width ==");
     for width in [4usize, 8, 12] {
         let program = wide_rule(width);
         let rule = program.rules[0].clone();
-        let t = ms(|| { rule_contained(&rule, &program); }, 5);
-        r.row(Row::new("E13", "wide_rule", "contained", width as u64, t, "ms"));
+        let t = ms(
+            || {
+                rule_contained(&rule, &program);
+            },
+            5,
+        );
+        r.row(Row::new(
+            "E13",
+            "wide_rule",
+            "contained",
+            width as u64,
+            t,
+            "ms",
+        ));
     }
     r.check("E13", "test terminates at every width (decidability)", true);
 
@@ -204,13 +346,18 @@ fn main() {
         .unwrap();
         let (min, removal) = minimize_stratified(&p).unwrap();
         let edb = parse_database("src(1). node(1). node(2). edge(1, 2).").unwrap();
-        let same = stratified::evaluate(&p, &edb).unwrap() == stratified::evaluate(&min, &edb).unwrap();
-        r.check("E14", "stratified minimization removed the duplicate and preserved semantics",
-            removal.atoms.len() == 1 && same);
+        let same =
+            stratified::evaluate(&p, &edb).unwrap() == stratified::evaluate(&min, &edb).unwrap();
+        r.check(
+            "E14",
+            "stratified minimization removed the duplicate and preserved semantics",
+            removal.atoms.len() == 1 && same,
+        );
     }
 
     // Persist raw rows.
-    let json = serde_json::to_string_pretty(&r.rows).expect("serialise rows");
+    let json =
+        datalog_json::Value::Array(r.rows.iter().map(|row| row.to_json()).collect()).to_pretty();
     std::fs::write("experiments.json", &json).expect("write experiments.json");
     println!("\n{} rows written to experiments.json", r.rows.len());
 

@@ -4,20 +4,13 @@
 //! Run with:
 //! `cargo run -p datalog-bench --bin summarize --release [experiments.json]`
 
+use datalog_bench::Row;
 use std::collections::BTreeMap;
 
-#[derive(serde::Deserialize)]
-struct Row {
-    experiment: String,
-    workload: String,
-    series: String,
-    x: u64,
-    value: f64,
-    unit: String,
-}
-
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "experiments.json".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "experiments.json".into());
     let data = match std::fs::read_to_string(&path) {
         Ok(d) => d,
         Err(e) => {
@@ -25,7 +18,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let rows: Vec<Row> = serde_json::from_str(&data).expect("experiments.json parses");
+    let parsed = datalog_json::Value::parse(&data).expect("experiments.json parses");
+    let rows: Vec<Row> = parsed
+        .as_array()
+        .expect("experiments.json is an array")
+        .iter()
+        .map(|v| Row::from_json(v).expect("row deserialises"))
+        .collect();
 
     // Group by (experiment, workload); columns = series; rows = x.
     type Cells = BTreeMap<String, (f64, String)>;
@@ -43,10 +42,12 @@ fn main() {
     for ((experiment, workload), by_x) in &groups {
         println!("### {experiment} — {workload}\n");
         // Collect the union of series names for the header.
-        let mut series: Vec<&String> =
-            by_x.values().flat_map(|m| m.keys()).collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect();
+        let mut series: Vec<&String> = by_x
+            .values()
+            .flat_map(|m| m.keys())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         series.sort();
         print!("| x |");
         for s in &series {

@@ -11,10 +11,10 @@
 use datalog_ast::{parse_program, Database, Program};
 use datalog_engine::Stats;
 use datalog_generate::{edge_db, GraphKind};
-use serde::Serialize;
+use datalog_json::Value;
 
 /// One measured row of an experiment, serialisable for EXPERIMENTS.md.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     pub experiment: String,
     pub workload: String,
@@ -41,6 +41,37 @@ impl Row {
             value,
             unit: unit.into(),
         }
+    }
+
+    /// Serialize as a JSON object (field order matches the struct).
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("experiment", Value::from(self.experiment.as_str())),
+            ("workload", Value::from(self.workload.as_str())),
+            ("series", Value::from(self.series.as_str())),
+            ("x", Value::from(self.x)),
+            ("value", Value::Number(self.value)),
+            ("unit", Value::from(self.unit.as_str())),
+        ])
+    }
+
+    /// Deserialize from the object shape written by [`Row::to_json`].
+    pub fn from_json(v: &Value) -> Result<Row, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("row missing field '{k}'"));
+        let string = |k: &str| {
+            field(k)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("'{k}' not a string"))
+        };
+        Ok(Row {
+            experiment: string("experiment")?,
+            workload: string("workload")?,
+            series: string("series")?,
+            x: field("x")?.as_u64().ok_or("'x' not an unsigned integer")?,
+            value: field("value")?.as_f64().ok_or("'value' not a number")?,
+            unit: string("unit")?,
+        })
     }
 }
 
@@ -69,8 +100,7 @@ pub fn wide_rule(width: usize) -> Program {
         body.push_str(&format!(", a({prev}, V{i})"));
         prev = format!("V{i}");
     }
-    parse_program(&format!("g(X, Y, Z) :- {body}."))
-        .expect("generated program parses")
+    parse_program(&format!("g(X, Y, Z) :- {body}.")).expect("generated program parses")
 }
 
 /// Standard EDB families used across experiments.
@@ -78,7 +108,14 @@ pub fn standard_edb(kind: &str, n: usize) -> Database {
     match kind {
         "chain" => edge_db("a", GraphKind::Chain { n }),
         "cycle" => edge_db("a", GraphKind::Cycle { n }),
-        "er" => edge_db("a", GraphKind::ErdosRenyi { n, p: 8.0 / n.max(8) as f64, seed: 7 }),
+        "er" => edge_db(
+            "a",
+            GraphKind::ErdosRenyi {
+                n,
+                p: 8.0 / n.max(8) as f64,
+                seed: 7,
+            },
+        ),
         other => panic!("unknown EDB kind {other}"),
     }
 }
@@ -132,8 +169,13 @@ mod tests {
     #[test]
     fn row_serialises() {
         let r = Row::new("E10", "chain", "minimized", 64, 1.5, "ms");
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json().to_compact();
         assert!(json.contains("\"experiment\":\"E10\""));
+        // And round-trips through the parser.
+        let back = Row::from_json(&datalog_json::Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.x, 64);
+        assert_eq!(back.value, 1.5);
+        assert_eq!(back.unit, "ms");
     }
 }
 

@@ -88,7 +88,10 @@ pub(crate) fn for_each_match(
         };
         let pattern = subst.apply_atom(first);
         for tuple in db.relation(pattern.pred) {
-            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            let g = GroundAtom {
+                pred: pattern.pred,
+                tuple: tuple.clone(),
+            };
             let mut s = subst.clone();
             if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, db, &s, found) {
                 return true;
@@ -179,7 +182,11 @@ pub fn chase(
     loop {
         if let Some(g) = goal {
             if db.contains(g) {
-                return ChaseResult { db, status: ChaseStatus::GoalReached, added: added_total };
+                return ChaseResult {
+                    db,
+                    status: ChaseStatus::GoalReached,
+                    added: added_total,
+                };
             }
         }
         let mut added_this_round: u64 = 0;
@@ -202,7 +209,11 @@ pub fn chase(
                 }
             }
             if budget == 0 {
-                return ChaseResult { db, status: ChaseStatus::OutOfFuel, added: added_total };
+                return ChaseResult {
+                    db,
+                    status: ChaseStatus::OutOfFuel,
+                    added: added_total,
+                };
             }
         }
 
@@ -212,7 +223,11 @@ pub fn chase(
         added_total += tgd_added;
 
         if added_this_round == 0 {
-            return ChaseResult { db, status: ChaseStatus::Saturated, added: added_total };
+            return ChaseResult {
+                db,
+                status: ChaseStatus::Saturated,
+                added: added_total,
+            };
         }
         if budget == 0 {
             // A goal derived by the very last funded step still counts.
@@ -225,7 +240,11 @@ pub fn chase(
                     };
                 }
             }
-            return ChaseResult { db, status: ChaseStatus::OutOfFuel, added: added_total };
+            return ChaseResult {
+                db,
+                status: ChaseStatus::OutOfFuel,
+                added: added_total,
+            };
         }
     }
 }
@@ -282,12 +301,7 @@ pub fn models_condition(p1: &Program, p2: &Program, tgds: &[Tgd], fuel: u64) -> 
 /// Corollary 1 (appendix): with `S = SAT(T)` and `P1(S) ⊆ S`,
 /// `P2 ⊑_S P1 ⇔ S ∩ M(P1) ⊆ M(P2)`. This combined entry point returns
 /// `Proved` only when both semi-decidable steps prove out within `fuel`.
-pub fn uniformly_contains_given(
-    p1: &Program,
-    p2: &Program,
-    tgds: &[Tgd],
-    fuel: u64,
-) -> Proof {
+pub fn uniformly_contains_given(p1: &Program, p2: &Program, tgds: &[Tgd], fuel: u64) -> Proof {
     let c1 = models_condition(p1, p2, tgds, fuel);
     if c1 == Proof::Disproved {
         return Proof::Disproved;
@@ -305,7 +319,9 @@ pub fn uniformly_contains_given(
 /// Does `db` satisfy the tgd (§VIII)? Every lhs match must extend to an rhs
 /// match.
 pub fn satisfies_tgd(db: &Database, tgd: &Tgd) -> bool {
-    !for_each_match(&tgd.lhs, db, &Subst::new(), &mut |s| !has_extension(&tgd.rhs, db, s))
+    !for_each_match(&tgd.lhs, db, &Subst::new(), &mut |s| {
+        !has_extension(&tgd.rhs, db, s)
+    })
 }
 
 /// Does `db` satisfy all of `tgds`?
@@ -339,9 +355,17 @@ mod tests {
         // Applying a full tgd = applying its rule decomposition.
         let tgd = parse_tgd("a(X, Y) -> b(Y, X).").unwrap();
         let input = parse_database("a(1, 2).").unwrap();
-        let result = chase(&Program::empty(), std::slice::from_ref(&tgd), &input, 100, None);
+        let result = chase(
+            &Program::empty(),
+            std::slice::from_ref(&tgd),
+            &input,
+            100,
+            None,
+        );
         assert_eq!(result.status, ChaseStatus::Saturated);
-        assert!(result.db.contains_tuple(Pred::new("b"), &[2.into(), 1.into()]));
+        assert!(result
+            .db
+            .contains_tuple(Pred::new("b"), &[2.into(), 1.into()]));
 
         let rules = Program::new(tgd.to_rules().unwrap());
         let via_rules = naive::evaluate(&rules, &input);
@@ -373,25 +397,27 @@ mod tests {
     #[test]
     fn corollary1_combined_containment() {
         // Example 11/14 packaged: P2 ⊑u_SAT(T) P1.
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         let tgds = vec![datalog_ast::parse_tgd("g(X, Z) -> a(X, W).").unwrap()];
-        assert_eq!(uniformly_contains_given(&p1, &p2, &tgds, 10_000), Proof::Proved);
+        assert_eq!(
+            uniformly_contains_given(&p1, &p2, &tgds, 10_000),
+            Proof::Proved
+        );
         // Without the tgds the same containment fails outright.
-        assert_eq!(uniformly_contains_given(&p1, &p2, &[], 10_000), Proof::Disproved);
+        assert_eq!(
+            uniformly_contains_given(&p1, &p2, &[], 10_000),
+            Proof::Disproved
+        );
     }
 
     #[test]
     fn example11_chase_proves_models_condition() {
         // §VIII Example 11: with T = {G(x,z) → A(x,w)},
         // SAT(T) ∩ M(P1) ⊆ M(P2).
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         let tgds = vec![parse_tgd("g(X, Z) -> a(X, W).").unwrap()];
         assert_eq!(models_condition(&p1, &p2, &tgds, 1000), Proof::Proved);
@@ -401,10 +427,8 @@ mod tests {
     fn without_tgds_example11_fails() {
         // Sanity: the same condition WITHOUT the tgd is refuted (and the
         // chase saturates, so we get a definite disproof).
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         assert_eq!(models_condition(&p1, &p2, &[], 1000), Proof::Disproved);
     }
@@ -436,8 +460,13 @@ mod tests {
         let diverging = parse_tgd("p(X) -> q(X, W) & p(W).").unwrap();
         let input = parse_database("g(1, 2). p(7).").unwrap();
         let goal = datalog_ast::fact("g", [2, 1]);
-        let result =
-            chase(&Program::empty(), &[diverging, tgd], &input, 1_000_000, Some(&goal));
+        let result = chase(
+            &Program::empty(),
+            &[diverging, tgd],
+            &input,
+            1_000_000,
+            Some(&goal),
+        );
         assert_eq!(result.status, ChaseStatus::GoalReached);
     }
 
@@ -457,11 +486,7 @@ mod tests {
         input.insert(GroundAtom::new("g", vec![Const::Null(5)]));
         let result = chase(&Program::empty(), &[tgd], &input, 10, None);
         // The new null must not be δ5.
-        let h_nulls: Vec<Const> = result
-            .db
-            .relation(Pred::new("h"))
-            .map(|t| t[1])
-            .collect();
+        let h_nulls: Vec<Const> = result.db.relation(Pred::new("h")).map(|t| t[1]).collect();
         assert_eq!(h_nulls, vec![Const::Null(6)]);
     }
 }

@@ -125,9 +125,57 @@ pub fn rule_contained_with_evidence(r: &Rule, p: &Program) -> Result<Witness, Re
     let frozen = freeze_rule(r);
     let traced = datalog_engine::provenance::evaluate_traced(p, &frozen.body_db);
     match traced.explain(&frozen.goal) {
-        Some(proof) => Ok(Witness { canonical_db: frozen.body_db, goal: frozen.goal, proof }),
-        None => Err(Refutation { countermodel: traced.db, missing: frozen.goal }),
+        Some(proof) => Ok(Witness {
+            canonical_db: frozen.body_db,
+            goal: frozen.goal,
+            proof,
+        }),
+        None => Err(Refutation {
+            countermodel: traced.db,
+            missing: frozen.goal,
+        }),
     }
+}
+
+/// Evidence for the program-level query `P2 ⊑u P1`.
+#[derive(Clone, Debug)]
+pub enum ContainmentEvidence {
+    /// Containment holds; one [`Witness`] per rule of `P2`, in rule order.
+    Holds(Vec<Witness>),
+    /// Containment fails at rule `rule_idx` of `P2`, with the countermodel.
+    Fails {
+        rule_idx: usize,
+        refutation: Refutation,
+    },
+}
+
+impl ContainmentEvidence {
+    pub fn holds(&self) -> bool {
+        matches!(self, ContainmentEvidence::Holds(_))
+    }
+}
+
+/// Decide `P2 ⊑u P1` (§VI) and return evidence either way: witnesses for
+/// every rule of `P2`, or the first refuted rule with its countermodel.
+/// Agrees with [`uniformly_contains`] on the verdict.
+pub fn uniformly_contains_with_evidence(
+    p1: &Program,
+    p2: &Program,
+) -> Result<ContainmentEvidence, ContainmentError> {
+    check(&[p1, p2])?;
+    let mut witnesses = Vec::with_capacity(p2.rules.len());
+    for (rule_idx, r) in p2.rules.iter().enumerate() {
+        match rule_contained_with_evidence(r, p1) {
+            Ok(w) => witnesses.push(w),
+            Err(refutation) => {
+                return Ok(ContainmentEvidence::Fails {
+                    rule_idx,
+                    refutation,
+                })
+            }
+        }
+    }
+    Ok(ContainmentEvidence::Holds(witnesses))
 }
 
 #[cfg(test)]
@@ -172,6 +220,28 @@ mod tests {
     }
 
     #[test]
+    fn program_level_evidence_agrees_with_bool_test() {
+        let p1 = doubling_tc();
+        let p2 = left_linear_tc();
+        // P2 ⊑u P1: both rules of P2 get witnesses.
+        match uniformly_contains_with_evidence(&p1, &p2).unwrap() {
+            ContainmentEvidence::Holds(ws) => assert_eq!(ws.len(), 2),
+            other => panic!("expected Holds, got {other:?}"),
+        }
+        // P1 ⋢u P2: the doubling rule (index 1) is refuted.
+        match uniformly_contains_with_evidence(&p2, &p1).unwrap() {
+            ContainmentEvidence::Fails {
+                rule_idx,
+                refutation,
+            } => {
+                assert_eq!(rule_idx, 1);
+                assert!(!refutation.countermodel.contains(&refutation.missing));
+            }
+            other => panic!("expected Fails, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn example6_p2_contained_in_p1() {
         // §VI Example 6: P2 ⊑u P1 …
         assert!(uniformly_contains(&doubling_tc(), &left_linear_tc()).unwrap());
@@ -201,12 +271,9 @@ mod tests {
     fn example7_redundant_atom_detected() {
         // §VI Example 7: with the atom A(w,y) deleted, the single-rule
         // programs are uniformly equivalent.
-        let p1 = parse_program(
-            "g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).",
-        )
-        .unwrap();
-        let p2 =
-            parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
+        let p1 =
+            parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
+        let p2 = parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
         // Body of P2's rule ⊆ body of P1's rule ⇒ P1 ⊑u P2 trivially.
         assert!(uniformly_contains(&p2, &p1).unwrap());
         // The non-trivial direction shown in the paper: P2 ⊑u P1 (two chase
@@ -219,13 +286,17 @@ mod tests {
     fn example11_a_y_w_not_redundant_under_uniform_equivalence() {
         // §VIII Example 11: P2 (plain doubling) is NOT uniformly contained
         // in P1 (doubling guarded by A(y,w)) — that needs the tgd machinery.
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let p2 = doubling_tc();
-        assert!(uniformly_contains(&p2, &p1).unwrap(), "P1 ⊑u P2 (bodies shrink)");
-        assert!(!uniformly_contains(&p1, &p2).unwrap(), "P2 ⋢u P1 without tgds");
+        assert!(
+            uniformly_contains(&p2, &p1).unwrap(),
+            "P1 ⊑u P2 (bodies shrink)"
+        );
+        assert!(
+            !uniformly_contains(&p1, &p2).unwrap(),
+            "P2 ⋢u P1 without tgds"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
         assert!(!cq_contained(&q2, &q1));
         let h = homomorphism(&q1, &q2).unwrap();
         // h maps q2's X,Y to q1's frozen X,Y.
-        assert_eq!(h.get(Var::new("X")), Some(Term::Const(datalog_ast::Const::Frozen(Var::new("X")))));
+        assert_eq!(
+            h.get(Var::new("X")),
+            Some(Term::Const(datalog_ast::Const::Frozen(Var::new("X"))))
+        );
     }
 
     #[test]

@@ -87,8 +87,9 @@ pub fn candidate_tgds(rule: &Rule) -> Vec<Candidate> {
 pub fn candidate_tgds_with(rule: &Rule, config: CandidateConfig) -> Vec<Candidate> {
     let head_vars: BTreeSet<Var> = rule.head.vars().collect();
     let body: Vec<&Atom> = rule.positive_body().collect();
-    let head_pred_atoms: Vec<usize> =
-        (0..body.len()).filter(|&i| body[i].pred == rule.head.pred).collect();
+    let head_pred_atoms: Vec<usize> = (0..body.len())
+        .filter(|&i| body[i].pred == rule.head.pred)
+        .collect();
 
     let mut out: Vec<Candidate> = Vec::new();
     for lhs_set in subsets_up_to(&head_pred_atoms, config.max_lhs_atoms.max(1)) {
@@ -126,13 +127,15 @@ fn collect_candidates(
     lhs_set: &[usize],
     out: &mut Vec<Candidate>,
 ) {
-    let lhs_vars: BTreeSet<Var> =
-        lhs_set.iter().flat_map(|&i| body[i].vars()).collect();
+    let lhs_vars: BTreeSet<Var> = lhs_set.iter().flat_map(|&i| body[i].vars()).collect();
     let universal: BTreeSet<Var> = head_vars.union(&lhs_vars).copied().collect();
 
     // Seed variables: strictly local to the prospective rhs.
-    let seeds: BTreeSet<Var> =
-        rule.body_vars().into_iter().filter(|v| !universal.contains(v)).collect();
+    let seeds: BTreeSet<Var> = rule
+        .body_vars()
+        .into_iter()
+        .filter(|v| !universal.contains(v))
+        .collect();
 
     for &seed in &seeds {
         // Close the rhs under property 2.
@@ -205,7 +208,7 @@ pub fn try_candidate(
     if keep.is_empty() {
         return Ok(None);
     }
-    let new_rule = Rule { head: rule.head.clone(), body: keep };
+    let new_rule = Rule::new(rule.head.clone(), keep);
     if !new_rule.is_range_restricted() {
         return Ok(None);
     }
@@ -327,8 +330,10 @@ mod tests {
         let r = parse_rule("g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let cands = candidate_tgds(&r);
         assert!(
-            cands.iter().any(|c| c.tgd.to_string() == "g(Y, Z) -> a(Y, W)."
-                || c.tgd.to_string() == "g(X, Y) -> a(Y, W)."),
+            cands
+                .iter()
+                .any(|c| c.tgd.to_string() == "g(Y, Z) -> a(Y, W)."
+                    || c.tgd.to_string() == "g(X, Y) -> a(Y, W)."),
             "got: {cands:?}"
         );
         // Every candidate's removable set is the a(Y,W) atom (index 2).
@@ -345,7 +350,9 @@ mod tests {
         let r = parse_rule("g(X, Z) :- a(X, Y), g(Y, Z), g(Y, W), c(W).").unwrap();
         let cands = candidate_tgds(&r);
         assert!(
-            cands.iter().any(|c| c.tgd.to_string() == "g(Y, Z) -> g(Y, W) & c(W)."),
+            cands
+                .iter()
+                .any(|c| c.tgd.to_string() == "g(Y, Z) -> g(Y, W) & c(W)."),
             "got: {cands:?}"
         );
     }
@@ -354,10 +361,8 @@ mod tests {
     fn example18_full_pipeline_removes_a_y_w() {
         // §X Example 18: A(y,w) in the recursive rule of P1 is redundant
         // under equivalence (not under uniform equivalence).
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let (optimized, applied) = optimize_under_equivalence(&p1, FUEL).unwrap();
         assert_eq!(applied.len(), 1);
         assert_eq!(applied[0].removed_atoms.len(), 1);
@@ -379,8 +384,11 @@ mod tests {
         .unwrap();
         let (optimized, applied) = optimize_under_equivalence(&p1, FUEL).unwrap();
         assert_eq!(applied.len(), 1, "{applied:?}");
-        let removed: Vec<String> =
-            applied[0].removed_atoms.iter().map(|a| a.to_string()).collect();
+        let removed: Vec<String> = applied[0]
+            .removed_atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
         assert_eq!(removed, vec!["g(Y, W)", "c(W)"]);
         assert_eq!(
             optimized.to_string(),
@@ -403,10 +411,7 @@ mod tests {
         // Like Example 18's P1 but the initialization rule does NOT
         // guarantee the tgd (base case produces g from b, not a): the
         // preliminary-DB condition fails and the atom must stay.
-        let p = parse_program(
-            "g(X, Z) :- b(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p = parse_program("g(X, Z) :- b(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let (optimized, applied) = optimize_under_equivalence(&p, FUEL).unwrap();
         assert!(applied.is_empty(), "{applied:?}");
         assert_eq!(optimized, p);

@@ -58,7 +58,11 @@ pub fn freeze_tgd_lhs(tgd: &Tgd) -> (Vec<GroundAtom>, Subst) {
     let atoms = tgd
         .lhs
         .iter()
-        .map(|a| theta.ground_atom(a).expect("lhs variables are all universal"))
+        .map(|a| {
+            theta
+                .ground_atom(a)
+                .expect("lhs variables are all universal")
+        })
         .collect();
     (atoms, theta)
 }
@@ -109,7 +113,9 @@ mod tests {
         let r = parse_rule("g(X, 3) :- a(X, 3).").unwrap();
         let frozen = freeze_rule(&r);
         let x0 = Const::Frozen(Var::new("X"));
-        assert!(frozen.body_db.contains_tuple(Pred::new("a"), &[x0, Const::Int(3)]));
+        assert!(frozen
+            .body_db
+            .contains_tuple(Pred::new("a"), &[x0, Const::Int(3)]));
         assert_eq!(frozen.goal.tuple[1], Const::Int(3));
     }
 
@@ -135,7 +141,10 @@ mod tests {
         assert_eq!(atoms.len(), 1);
         assert_eq!(
             atoms[0],
-            GroundAtom::new("g", vec![Const::Frozen(Var::new("X")), Const::Frozen(Var::new("Z"))])
+            GroundAtom::new(
+                "g",
+                vec![Const::Frozen(Var::new("X")), Const::Frozen(Var::new("Z"))]
+            )
         );
         // The existential variable W is NOT frozen.
         assert!(theta.get(Var::new("W")).is_none());
@@ -148,6 +157,9 @@ mod tests {
         let (atoms, theta) = freeze_atoms_with(&t.lhs, &base);
         assert_eq!(atoms[0].tuple[1], Const::Int(42));
         assert_eq!(atoms[1].tuple[0], Const::Int(42));
-        assert_eq!(theta.get(Var::new("X")), Some(Term::Const(Const::Frozen(Var::new("X")))));
+        assert_eq!(
+            theta.get(Var::new("X")),
+            Some(Term::Const(Const::Frozen(Var::new("X"))))
+        );
     }
 }

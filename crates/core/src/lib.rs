@@ -68,8 +68,9 @@ pub use chase::{
     uniformly_contains_given, ChaseResult, ChaseStatus, Proof,
 };
 pub use containment::{
-    rule_contained, rule_contained_with_evidence, uniformly_contains, uniformly_equivalent,
-    ContainmentError, Refutation, Witness,
+    rule_contained, rule_contained_with_evidence, uniformly_contains,
+    uniformly_contains_with_evidence, uniformly_equivalent, ContainmentError, ContainmentEvidence,
+    Refutation, Witness,
 };
 pub use cq::{cq_contained, equivalent_nonrecursive, homomorphism, minimize_cq, union_contained};
 pub use equivalence::{
@@ -80,8 +81,12 @@ pub use freeze::{freeze_rule, freeze_tgd_lhs, freezing_subst, FrozenRule};
 pub use minimize::{
     is_minimal, minimize_program, minimize_program_in_order, minimize_rule, minimized, Removal,
 };
-pub use preserve::{preliminary_db_satisfies, preliminary_db_satisfies_k, preserves_nonrecursively};
+pub use preserve::{
+    preliminary_db_satisfies, preliminary_db_satisfies_k, preserves_nonrecursively,
+};
 pub use refute::{analyze_equivalence, find_separating_edb, EquivVerdict, SeparatingEdb};
 pub use slice::{relevant_predicates, slice_for_query};
 pub use stratified_ext::{minimize_stratified, StratifiedError};
-pub use termination::{analyze as analyze_termination, fuel_for, is_weakly_acyclic, ChaseTermination, PositionGraph};
+pub use termination::{
+    analyze as analyze_termination, fuel_for, is_weakly_acyclic, ChaseTermination, PositionGraph,
+};

@@ -75,8 +75,11 @@ pub fn minimize_rule(rule: &Rule) -> Result<(Rule, Vec<Atom>), ContainmentError>
 /// ```
 pub fn minimize_program(program: &Program) -> Result<(Program, Removal), ContainmentError> {
     let rule_order: Vec<usize> = (0..program.len()).collect();
-    let atom_orders: Vec<Vec<usize>> =
-        program.rules.iter().map(|r| (0..r.width()).collect()).collect();
+    let atom_orders: Vec<Vec<usize>> = program
+        .rules
+        .iter()
+        .map(|r| (0..r.width()).collect())
+        .collect();
     minimize_program_in_order(program, &rule_order, &atom_orders)
 }
 
@@ -96,7 +99,11 @@ pub fn minimize_program_in_order(
     if let Err(e) = validate_positive(program) {
         return Err(ContainmentError::Invalid(e));
     }
-    assert_eq!(rule_order.len(), program.len(), "rule_order must be a permutation");
+    assert_eq!(
+        rule_order.len(),
+        program.len(),
+        "rule_order must be a permutation"
+    );
     assert_eq!(atom_orders.len(), program.len(), "one atom order per rule");
 
     let mut current = program.clone();
@@ -186,10 +193,13 @@ mod tests {
     fn example8_fig1_removes_a_w_y() {
         // §VII Example 8: Fig. 1 run on P1 of Example 7 removes A(w,y),
         // terminating with the rule of P2, which has no redundant atom.
-        let r = parse_rule("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).")
-            .unwrap();
+        let r =
+            parse_rule("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
         let (min, deleted) = minimize_rule(&r).unwrap();
-        assert_eq!(min.to_string(), "g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y).");
+        assert_eq!(
+            min.to_string(),
+            "g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y)."
+        );
         assert_eq!(deleted.len(), 1);
         assert_eq!(deleted[0].to_string(), "a(W, Y)");
         // The result is minimal.
@@ -309,12 +319,7 @@ mod tests {
         let (min_default, _) = minimize_program(&p).unwrap();
         assert_eq!(min_default.len(), 1);
 
-        let (min_rev, _) = minimize_program_in_order(
-            &p,
-            &[1, 0],
-            &[vec![0], vec![1, 0]],
-        )
-        .unwrap();
+        let (min_rev, _) = minimize_program_in_order(&p, &[1, 0], &[vec![0], vec![1, 0]]).unwrap();
         assert_eq!(min_rev.len(), 1);
         assert!(uniformly_equivalent(&min_default, &min_rev).unwrap());
         assert!(uniformly_equivalent(&min_default, &p).unwrap());

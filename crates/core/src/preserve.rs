@@ -508,10 +508,7 @@ mod tests {
     #[test]
     fn example14_p1_preserves() {
         // §IX Example 14: P1 (both rules) preserves T = {G(x,z) → A(x,w)}.
-        let p = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let t = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
         assert_eq!(preserves_nonrecursively(&p, &t, FUEL), Proof::Proved);
     }
@@ -562,10 +559,8 @@ mod tests {
     fn example18_preliminary_db_satisfies() {
         // §X Example 18: the preliminary DB of P1 (via G(x,z) :- A(x,z))
         // satisfies T = {G(x,z) → A(x,w)}.
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let t = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
         assert!(preliminary_db_satisfies(&p1, &t));
     }
@@ -616,10 +611,8 @@ mod tests {
     fn k1_matches_init_rule_variant() {
         // rounds = 1 agrees with the initialization-rule test on the
         // paper's Example 18 setup.
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let t = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
         assert!(preliminary_db_satisfies(&p1, &t));
         assert!(preliminary_db_satisfies_k(&p1, &t, 1, 1024));
@@ -642,9 +635,15 @@ mod tests {
         )
         .unwrap();
         let tgd = parse_tgds("g(X, Z) -> s(X, W).").unwrap();
-        assert!(!preliminary_db_satisfies(&p, &tgd), "init rules alone cannot see s");
+        assert!(
+            !preliminary_db_satisfies(&p, &tgd),
+            "init rules alone cannot see s"
+        );
         assert!(!preliminary_db_satisfies_k(&p, &tgd, 1, 1024));
-        assert!(preliminary_db_satisfies_k(&p, &tgd, 2, 1024), "two rounds derive s");
+        assert!(
+            preliminary_db_satisfies_k(&p, &tgd, 2, 1024),
+            "two rounds derive s"
+        );
     }
 
     #[test]
@@ -655,10 +654,7 @@ mod tests {
         // doubling rule the lhs realisations at depth 2 include
         // two-step paths; the tgd g(X,Z) → a(X,W) holds (the first step of
         // any realisation provides a(x0, ·)).
-        let p = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         let tgd = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
         assert!(preliminary_db_satisfies_k(&p, &tgd, 1, 1024));
         assert!(preliminary_db_satisfies_k(&p, &tgd, 2, 1024));
@@ -667,10 +663,7 @@ mod tests {
 
     #[test]
     fn truncation_is_conservative() {
-        let p = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         let tgd = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
         // Absurdly small combination cap: must refuse rather than guess.
         assert!(!preliminary_db_satisfies_k(&p, &tgd, 3, 1));

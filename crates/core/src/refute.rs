@@ -32,11 +32,13 @@ pub struct SeparatingEdb {
 /// The extensional vocabulary of a pair of programs: predicates extensional
 /// in *both* (a predicate intentional in either program is not free input).
 fn shared_edb_vocabulary(p1: &Program, p2: &Program) -> Vec<(Pred, usize)> {
-    let idb: BTreeSet<Pred> =
-        p1.intentional().union(&p2.intentional()).copied().collect();
+    let idb: BTreeSet<Pred> = p1.intentional().union(&p2.intentional()).copied().collect();
     let mut arities = p1.arities();
     arities.extend(p2.arities());
-    arities.into_iter().filter(|(p, _)| !idb.contains(p)).collect()
+    arities
+        .into_iter()
+        .filter(|(p, _)| !idb.contains(p))
+        .collect()
 }
 
 /// Compare outputs on one EDB; returns a witness if they differ.
@@ -98,8 +100,11 @@ pub fn find_separating_edb(p1: &Program, p2: &Program, samples: u64) -> Option<S
     let vocab = shared_edb_vocabulary(p1, p2);
     if vocab.is_empty() {
         // No extensional input: the only EDB is the empty one.
-        return compare(p1, p2, &Database::new())
-            .map(|(witness, in_first)| SeparatingEdb { edb: Database::new(), witness, in_first });
+        return compare(p1, p2, &Database::new()).map(|(witness, in_first)| SeparatingEdb {
+            edb: Database::new(),
+            witness,
+            in_first,
+        });
     }
 
     // Exhaustive phase.
@@ -120,7 +125,11 @@ pub fn find_separating_edb(p1: &Program, p2: &Program, samples: u64) -> Option<S
                     .map(|(_, a)| a.clone()),
             );
             if let Some((witness, in_first)) = compare(p1, p2, &edb) {
-                return Some(SeparatingEdb { edb, witness, in_first });
+                return Some(SeparatingEdb {
+                    edb,
+                    witness,
+                    in_first,
+                });
             }
         }
     }
@@ -141,12 +150,20 @@ pub fn find_separating_edb(p1: &Program, p2: &Program, samples: u64) -> Option<S
         let mut edb = Database::new();
         for _ in 0..atoms {
             let (p, arity) = vocab[(next() % vocab.len() as u64) as usize];
-            let tuple: Vec<Const> =
-                (0..arity).map(|_| Const::Int((next() % domain as u64) as i64)).collect();
-            edb.insert(GroundAtom { pred: p, tuple: tuple.into() });
+            let tuple: Vec<Const> = (0..arity)
+                .map(|_| Const::Int((next() % domain as u64) as i64))
+                .collect();
+            edb.insert(GroundAtom {
+                pred: p,
+                tuple: tuple.into(),
+            });
         }
         if let Some((witness, in_first)) = compare(p1, p2, &edb) {
-            return Some(SeparatingEdb { edb, witness, in_first });
+            return Some(SeparatingEdb {
+                edb,
+                witness,
+                in_first,
+            });
         }
     }
     None
@@ -257,10 +274,8 @@ mod tests {
     fn verdict_certified_for_example18() {
         // Guarded vs clean doubling TC: not uniformly equivalent, no
         // separating EDB exists, but the §X–§XI pipeline certifies it.
-        let p1 = parse_program(
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-        )
-        .unwrap();
+        let p1 =
+            parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
         let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
         assert_eq!(
             analyze_equivalence(&p1, &p2, 10_000, 60).unwrap(),

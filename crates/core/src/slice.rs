@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn mutual_recursion_stays_together() {
-        let p = parse_program(
-            "p(X) :- q(X). q(X) :- p(X). q(X) :- e(X). r(X) :- d(X).",
-        )
-        .unwrap();
+        let p = parse_program("p(X) :- q(X). q(X) :- p(X). q(X) :- e(X). r(X) :- d(X).").unwrap();
         let sliced = slice_for_query(&p, Pred::new("p"));
         assert_eq!(sliced.len(), 3);
     }

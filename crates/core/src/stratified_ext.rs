@@ -80,12 +80,16 @@ fn uncomplement_pred(p: Pred) -> Option<Pred> {
 fn positivize(rule: &Rule) -> Rule {
     Rule {
         head: rule.head.clone(),
+        spans: rule.spans.clone(),
         body: rule
             .body
             .iter()
             .map(|l| {
                 if l.negated {
-                    Literal::pos(Atom { pred: complement_pred(l.atom.pred), terms: l.atom.terms.clone() })
+                    Literal::pos(Atom {
+                        pred: complement_pred(l.atom.pred),
+                        terms: l.atom.terms.clone(),
+                    })
                 } else {
                     l.clone()
                 }
@@ -98,11 +102,15 @@ fn positivize(rule: &Rule) -> Rule {
 fn unpositivize(rule: &Rule) -> Rule {
     Rule {
         head: rule.head.clone(),
+        spans: rule.spans.clone(),
         body: rule
             .body
             .iter()
             .map(|l| match uncomplement_pred(l.atom.pred) {
-                Some(orig) => Literal::neg(Atom { pred: orig, terms: l.atom.terms.clone() }),
+                Some(orig) => Literal::neg(Atom {
+                    pred: orig,
+                    terms: l.atom.terms.clone(),
+                }),
                 None => l.clone(),
             })
             .collect(),
@@ -153,27 +161,36 @@ fn minimize_stratified_once(program: &Program) -> Result<(Program, Removal), Str
             continue;
         }
         let positivized = Program::new(
-            indices.iter().map(|&i| positivize(&program.rules[i])).collect(),
+            indices
+                .iter()
+                .map(|&i| positivize(&program.rules[i]))
+                .collect(),
         );
         let (min, layer_removal) = minimize_program(&positivized)?;
         for (local_idx, atom) in layer_removal.atoms {
             let mapped = match uncomplement_pred(atom.pred) {
-                Some(orig) => Atom { pred: orig, terms: atom.terms.clone() },
+                Some(orig) => Atom {
+                    pred: orig,
+                    terms: atom.terms.clone(),
+                },
                 None => atom,
             };
             removal.atoms.push((indices[local_idx], mapped));
         }
         let removed_local: std::collections::BTreeSet<usize> =
             layer_removal.rule_indices.iter().copied().collect();
-        for (rule, &local_idx) in
-            layer_removal.rules.iter().zip(layer_removal.rule_indices.iter())
+        for (rule, &local_idx) in layer_removal
+            .rules
+            .iter()
+            .zip(layer_removal.rule_indices.iter())
         {
             removal.rules.push(unpositivize(rule));
             removal.rule_indices.push(indices[local_idx]);
         }
         // Survivors, paired with their original global indices.
-        let kept_locals: Vec<usize> =
-            (0..indices.len()).filter(|i| !removed_local.contains(i)).collect();
+        let kept_locals: Vec<usize> = (0..indices.len())
+            .filter(|i| !removed_local.contains(i))
+            .collect();
         debug_assert_eq!(kept_locals.len(), min.len());
         for (rule, &local_idx) in min.rules.iter().zip(kept_locals.iter()) {
             survivors.push((indices[local_idx], unpositivize(rule)));
@@ -215,10 +232,16 @@ mod tests {
         .unwrap();
         let (min, removal) = minimize_stratified(&p).unwrap();
         assert_eq!(removal.atoms.len(), 1);
-        let unreach_rule =
-            min.rules.iter().find(|r| r.head.pred == Pred::new("unreach")).unwrap();
+        let unreach_rule = min
+            .rules
+            .iter()
+            .find(|r| r.head.pred == Pred::new("unreach"))
+            .unwrap();
         assert_eq!(unreach_rule.width(), 2);
-        assert_eq!(unreach_rule.to_string(), "unreach(X) :- node(X), !reach(X).");
+        assert_eq!(
+            unreach_rule.to_string(),
+            "unreach(X) :- node(X), !reach(X)."
+        );
     }
 
     #[test]
@@ -230,7 +253,11 @@ mod tests {
         .unwrap();
         let (min, removal) = minimize_stratified(&p).unwrap();
         assert_eq!(removal.atoms.len(), 1);
-        let q_rule = min.rules.iter().find(|r| r.head.pred == Pred::new("q")).unwrap();
+        let q_rule = min
+            .rules
+            .iter()
+            .find(|r| r.head.pred == Pred::new("q"))
+            .unwrap();
         assert_eq!(q_rule.to_string(), "q(X) :- dom(X), !p(X).");
     }
 
@@ -245,10 +272,7 @@ mod tests {
         .unwrap();
         let (min, _) = minimize_stratified(&p).unwrap();
         assert!(min.total_width() < p.total_width());
-        let edb = parse_database(
-            "src(1). node(1). node(2). node(3). edge(1, 2).",
-        )
-        .unwrap();
+        let edb = parse_database("src(1). node(1). node(2). node(3). edge(1, 2).").unwrap();
         assert_eq!(
             stratified::evaluate(&p, &edb).unwrap(),
             stratified::evaluate(&min, &edb).unwrap()
@@ -272,7 +296,10 @@ mod tests {
     #[test]
     fn unstratifiable_is_an_error() {
         let p = parse_program("p(X) :- n(X), !q(X). q(X) :- n(X), !p(X).").unwrap();
-        assert!(matches!(minimize_stratified(&p), Err(StratifiedError::NotStratifiable)));
+        assert!(matches!(
+            minimize_stratified(&p),
+            Err(StratifiedError::NotStratifiable)
+        ));
     }
 
     #[test]

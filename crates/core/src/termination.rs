@@ -123,7 +123,9 @@ impl PositionGraph {
             succ[index[&p]].push(index[&q]);
         }
         let scc_of = sccs(&succ);
-        self.special.iter().any(|&(p, q)| scc_of[index[&p]] == scc_of[index[&q]])
+        self.special
+            .iter()
+            .any(|&(p, q)| scc_of[index[&p]] == scc_of[index[&q]])
     }
 }
 
@@ -216,7 +218,10 @@ mod tests {
     fn full_tgds_always_terminate() {
         let t = parse_tgds("a(X, Y) -> b(Y, X). a(X, Y) & b(Y, Z) -> a(X, Z).").unwrap();
         assert_eq!(analyze(&t), ChaseTermination::AllFull);
-        assert!(is_weakly_acyclic(&t), "full sets are trivially weakly acyclic");
+        assert!(
+            is_weakly_acyclic(&t),
+            "full sets are trivially weakly acyclic"
+        );
     }
 
     #[test]

@@ -48,9 +48,16 @@ impl Materialized {
     /// Saturate `input` under `program` (semi-naive) and keep the result
     /// ready for incremental updates. Positive programs only.
     pub fn new(program: Program, input: &Database) -> Materialized {
-        assert!(program.is_positive(), "incremental maintenance requires a positive program");
+        assert!(
+            program.is_positive(),
+            "incremental maintenance requires a positive program"
+        );
         let db = crate::seminaive::evaluate(&program, input);
-        Materialized { program, base: input.clone(), db }
+        Materialized {
+            program,
+            base: input.clone(),
+            db,
+        }
     }
 
     /// The current fixpoint.
@@ -212,8 +219,7 @@ impl Materialized {
             let mut restored_any = false;
             let mut still_pending = Vec::new();
             for atom in pending {
-                let back = self.base.contains(&atom)
-                    || self.rederivable(&plans, &atom, &mut stats);
+                let back = self.base.contains(&atom) || self.rederivable(&plans, &atom, &mut stats);
                 if back {
                     self.db.insert(atom);
                     restored_any = true;
@@ -267,7 +273,10 @@ fn body_satisfiable(
         let pattern = subst.apply_atom(first);
         for tuple in db.relation(pattern.pred) {
             stats.probes += 1;
-            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            let g = GroundAtom {
+                pred: pattern.pred,
+                tuple: tuple.clone(),
+            };
             let mut s = subst.clone();
             if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, &s, db, stats) {
                 return true;

@@ -33,7 +33,7 @@ pub mod stratified;
 pub use incremental::Materialized;
 pub use magic::{answer, answer_with_stats, magic_transform, MagicProgram};
 pub use naive::apply_once;
-pub use provenance::{evaluate_traced, Justification, Proof, Traced};
 pub use plan::{instantiate_head, join_body, IndexSet, RulePlan};
+pub use provenance::{evaluate_traced, Justification, Proof, Traced};
 pub use stats::Stats;
 pub use stratified::NotStratifiable;

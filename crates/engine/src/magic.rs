@@ -38,7 +38,11 @@ impl Adornment {
     }
 
     pub fn bound_positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i)
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
     }
 
     pub fn all_free(arity: usize) -> Adornment {
@@ -96,7 +100,10 @@ fn magic_atom(atom: &Atom, a: &Adornment) -> Atom {
 /// Returns the transformed program plus the seed fact; evaluate with
 /// [`crate::seminaive::evaluate`] after inserting the seed and the EDB.
 pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
-    assert!(program.is_positive(), "magic sets requires a positive program");
+    assert!(
+        program.is_positive(),
+        "magic sets requires a positive program"
+    );
     let idb = program.intentional();
 
     let query_adornment = Adornment::of_atom(query, &BTreeSet::new());
@@ -127,13 +134,18 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
                     let a = Adornment::of_atom(atom, &bound);
                     // Magic rule: m__r__a(bound args) :- guard, prefix.
                     let m_head = magic_atom(atom, &a);
-                    out.rules.push(Rule { head: m_head, body: prefix.clone() });
+                    out.rules.push(Rule::new(m_head, prefix.clone()));
                     if seen.insert((atom.pred, a.clone())) {
                         queue.push_back((atom.pred, a.clone()));
                     }
-                    let adorned =
-                        Atom { pred: adorned_pred(atom.pred, &a), terms: atom.terms.clone() };
-                    new_body.push(Literal { atom: adorned.clone(), negated: lit.negated });
+                    let adorned = Atom {
+                        pred: adorned_pred(atom.pred, &a),
+                        terms: atom.terms.clone(),
+                    };
+                    new_body.push(Literal {
+                        atom: adorned.clone(),
+                        negated: lit.negated,
+                    });
                     prefix.push(Literal::pos(adorned));
                 } else {
                     new_body.push(lit.clone());
@@ -142,9 +154,11 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
                 bound.extend(atom.vars());
             }
 
-            let new_head =
-                Atom { pred: adorned_pred(rule.head.pred, &adornment), terms: rule.head.terms.clone() };
-            out.rules.push(Rule { head: new_head, body: new_body });
+            let new_head = Atom {
+                pred: adorned_pred(rule.head.pred, &adornment),
+                terms: rule.head.terms.clone(),
+            };
+            out.rules.push(Rule::new(new_head, new_body));
         }
     }
 
@@ -152,7 +166,11 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
         pred: magic_pred(query.pred, &query_adornment),
         tuple: query_adornment
             .bound_positions()
-            .map(|i| query.terms[i].as_const().expect("bound position holds a constant"))
+            .map(|i| {
+                query.terms[i]
+                    .as_const()
+                    .expect("bound position holds a constant")
+            })
             .collect(),
     };
 
@@ -200,7 +218,10 @@ pub fn answer_with_stats(
             Term::Var(_) => true,
         });
         if matches {
-            answers.insert(GroundAtom { pred: query.pred, tuple: tuple.clone() });
+            answers.insert(GroundAtom {
+                pred: query.pred,
+                tuple: tuple.clone(),
+            });
         }
     }
     (answers, stats)
@@ -222,7 +243,10 @@ mod tests {
                 Term::Var(_) => true,
             });
             if ok {
-                out.insert(GroundAtom { pred: query.pred, tuple: tuple.clone() });
+                out.insert(GroundAtom {
+                    pred: query.pred,
+                    tuple: tuple.clone(),
+                });
             }
         }
         out
@@ -318,7 +342,10 @@ mod tests {
         let query = parse_atom("sg(1, Y)").unwrap();
         let got = answer(&p, &edb, &query);
         assert_eq!(got, reference(&p, &edb, &query));
-        assert!(got.contains_tuple(Pred::new("sg"), &[datalog_ast::Const::Int(1), datalog_ast::Const::Int(2)]));
+        assert!(got.contains_tuple(
+            Pred::new("sg"),
+            &[datalog_ast::Const::Int(1), datalog_ast::Const::Int(2)]
+        ));
     }
 
     #[test]

@@ -154,10 +154,8 @@ mod tests {
         // §IX Example 12 also gives P(d) in full.
         let d = parse_database("a(1,2). g(2,3). g(3,4).").unwrap();
         let out = evaluate(&tc_program(), &d);
-        let expected = parse_database(
-            "a(1,2). g(2,3). g(3,4). g(1,2). g(1,3). g(2,4). g(1,4).",
-        )
-        .unwrap();
+        let expected =
+            parse_database("a(1,2). g(2,3). g(3,4). g(1,2). g(1,3). g(2,4). g(1,4).").unwrap();
         assert_eq!(out, expected);
     }
 

@@ -48,7 +48,11 @@ impl AtomPlan {
                 }
             })
             .collect();
-        AtomPlan { pred: atom.pred, slots, negated }
+        AtomPlan {
+            pred: atom.pred,
+            slots,
+            negated,
+        }
     }
 
     /// Slots that are bound given the currently-bound variable set.
@@ -86,8 +90,11 @@ impl RulePlan {
         let mut vars = Vec::new();
         // Compile body first so head variables are guaranteed bound slots
         // for range-restricted rules.
-        let body: Vec<AtomPlan> =
-            rule.body.iter().map(|l| AtomPlan::compile(&l.atom, l.negated, &mut vars)).collect();
+        let body: Vec<AtomPlan> = rule
+            .body
+            .iter()
+            .map(|l| AtomPlan::compile(&l.atom, l.negated, &mut vars))
+            .collect();
         let head = AtomPlan::compile(&rule.head, false, &mut vars);
         RulePlan { head, body, vars }
     }
@@ -163,7 +170,11 @@ pub struct IndexSet<'db> {
 
 impl<'db> IndexSet<'db> {
     pub fn new(db: &'db Database) -> IndexSet<'db> {
-        IndexSet { db, indices: HashMap::new(), probes: 0 }
+        IndexSet {
+            db,
+            indices: HashMap::new(),
+            probes: 0,
+        }
     }
 
     pub fn database(&self) -> &'db Database {
@@ -171,12 +182,7 @@ impl<'db> IndexSet<'db> {
     }
 
     /// Tuples of `pred` whose projection on `positions` equals `key`.
-    pub fn probe(
-        &mut self,
-        pred: Pred,
-        positions: &[usize],
-        key: &[Const],
-    ) -> &[&'db Tuple] {
+    pub fn probe(&mut self, pred: Pred, positions: &[usize], key: &[Const]) -> &[&'db Tuple] {
         self.probes += 1;
         if positions.is_empty() {
             // Full scan; cache under the empty position list with unit key.
@@ -189,14 +195,17 @@ impl<'db> IndexSet<'db> {
             return entry.get(&[] as &[Const]).map_or(&[], Vec::as_slice);
         }
         let db = self.db;
-        let entry = self.indices.entry((pred, positions.to_vec())).or_insert_with(|| {
-            let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
-            for t in db.relation(pred) {
-                let k: Vec<Const> = positions.iter().map(|&i| t[i]).collect();
-                m.entry(k).or_default().push(t);
-            }
-            m
-        });
+        let entry = self
+            .indices
+            .entry((pred, positions.to_vec()))
+            .or_insert_with(|| {
+                let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
+                for t in db.relation(pred) {
+                    let k: Vec<Const> = positions.iter().map(|&i| t[i]).collect();
+                    m.entry(k).or_default().push(t);
+                }
+                m
+            });
         entry.get(key).map_or(&[], Vec::as_slice)
     }
 }
@@ -219,7 +228,15 @@ pub fn join_body<F: FnMut(&[Option<Const>])>(
     let mut assignment: Vec<Option<Const>> = vec![None; plan.num_vars()];
     // A separate IndexSet for the delta database, created lazily.
     let mut delta_idx = delta.map(|(pos, d)| (pos, IndexSet::new(d)));
-    join_rec(plan, order, 0, idx, &mut delta_idx, &mut assignment, &mut on_match);
+    join_rec(
+        plan,
+        order,
+        0,
+        idx,
+        &mut delta_idx,
+        &mut assignment,
+        &mut on_match,
+    );
 }
 
 fn join_rec<F: FnMut(&[Option<Const>])>(
@@ -277,9 +294,15 @@ fn join_rec<F: FnMut(&[Option<Const>])>(
     let use_delta = delta_idx.as_ref().is_some_and(|(pos, _)| *pos == atom_i);
     let matches: Vec<Tuple> = if use_delta {
         let (_, didx) = delta_idx.as_mut().expect("checked above");
-        didx.probe(atom.pred, &positions, &key).iter().map(|&t| t.clone()).collect()
+        didx.probe(atom.pred, &positions, &key)
+            .iter()
+            .map(|&t| t.clone())
+            .collect()
     } else {
-        idx.probe(atom.pred, &positions, &key).iter().map(|&t| t.clone()).collect()
+        idx.probe(atom.pred, &positions, &key)
+            .iter()
+            .map(|&t| t.clone())
+            .collect()
     };
 
     for t in matches {
@@ -319,11 +342,15 @@ pub fn instantiate_head(plan: &RulePlan, assignment: &[Option<Const>]) -> Ground
         .iter()
         .map(|s| match s {
             Slot::Const(c) => *c,
-            Slot::Var(v) => assignment[*v]
-                .expect("head variable unbound; rule not range-restricted"),
+            Slot::Var(v) => {
+                assignment[*v].expect("head variable unbound; rule not range-restricted")
+            }
         })
         .collect();
-    GroundAtom { pred: plan.head.pred, tuple }
+    GroundAtom {
+        pred: plan.head.pred,
+        tuple,
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +463,10 @@ mod tests {
         let plan = RulePlan::compile(&rule);
         let order: Vec<usize> = (0..2).collect();
         join_body(&plan, &order, &mut idx, None, |_| {});
-        assert!(idx.probes >= 3, "scan + one probe per tuple: got {}", idx.probes);
+        assert!(
+            idx.probes >= 3,
+            "scan + one probe per tuple: got {}",
+            idx.probes
+        );
     }
 }

@@ -20,7 +20,11 @@ pub enum Justification {
     Input,
     /// Derived by instantiating rule `rule_idx` with `subst`; `premises`
     /// are the instantiated body atoms.
-    Rule { rule_idx: usize, subst: Subst, premises: Vec<GroundAtom> },
+    Rule {
+        rule_idx: usize,
+        subst: Subst,
+        premises: Vec<GroundAtom>,
+    },
 }
 
 /// The result of a provenance-tracking evaluation: the fixpoint plus one
@@ -48,7 +52,9 @@ impl Traced {
                 rule_idx: None,
                 premises: Vec::new(),
             },
-            Justification::Rule { rule_idx, premises, .. } => Proof {
+            Justification::Rule {
+                rule_idx, premises, ..
+            } => Proof {
                 conclusion: atom.clone(),
                 rule_idx: Some(*rule_idx),
                 premises: premises
@@ -74,13 +80,16 @@ pub struct Proof {
 impl Proof {
     /// Depth of the tree (input atoms have depth 0).
     pub fn depth(&self) -> usize {
-        self.premises.iter().map(Proof::depth).max().map_or(0, |d| d + 1)
+        self.premises
+            .iter()
+            .map(Proof::depth)
+            .max()
+            .map_or(0, |d| d + 1)
     }
 
     /// Total number of rule applications in the tree.
     pub fn size(&self) -> usize {
-        usize::from(self.rule_idx.is_some())
-            + self.premises.iter().map(Proof::size).sum::<usize>()
+        usize::from(self.rule_idx.is_some()) + self.premises.iter().map(Proof::size).sum::<usize>()
     }
 
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
@@ -107,13 +116,14 @@ impl fmt::Display for Proof {
 /// Evaluate `program` on `input` (naive rounds, same fixpoint as
 /// `naive::evaluate`) recording one justification per derived atom.
 pub fn evaluate_traced(program: &Program, input: &Database) -> Traced {
-    assert!(program.is_positive(), "provenance tracking requires a positive program");
+    assert!(
+        program.is_positive(),
+        "provenance tracking requires a positive program"
+    );
     let plans: Vec<RulePlan> = program.rules.iter().map(RulePlan::compile).collect();
     let mut db = input.clone();
-    let mut justifications: HashMap<GroundAtom, Justification> = input
-        .iter()
-        .map(|a| (a, Justification::Input))
-        .collect();
+    let mut justifications: HashMap<GroundAtom, Justification> =
+        input.iter().map(|a| (a, Justification::Input)).collect();
 
     loop {
         let mut new: Vec<(GroundAtom, Justification)> = Vec::new();
@@ -137,7 +147,14 @@ pub fn evaluate_traced(program: &Program, input: &Database) -> Traced {
                         .positive_body()
                         .map(|a| subst.ground_atom(a).expect("body fully bound"))
                         .collect();
-                    new.push((head, Justification::Rule { rule_idx, subst, premises }));
+                    new.push((
+                        head,
+                        Justification::Rule {
+                            rule_idx,
+                            subst,
+                            premises,
+                        },
+                    ));
                 });
             }
         }
@@ -175,7 +192,10 @@ mod tests {
     fn input_atoms_are_justified_as_input() {
         let edb = parse_database("a(1,2).").unwrap();
         let traced = evaluate_traced(&tc(), &edb);
-        assert_eq!(traced.justification(&fact("a", [1, 2])), Some(&Justification::Input));
+        assert_eq!(
+            traced.justification(&fact("a", [1, 2])),
+            Some(&Justification::Input)
+        );
     }
 
     #[test]
@@ -183,7 +203,9 @@ mod tests {
         let edb = parse_database("a(1,2).").unwrap();
         let traced = evaluate_traced(&tc(), &edb);
         match traced.justification(&fact("g", [1, 2])) {
-            Some(Justification::Rule { rule_idx, premises, .. }) => {
+            Some(Justification::Rule {
+                rule_idx, premises, ..
+            }) => {
                 assert_eq!(*rule_idx, 0);
                 assert_eq!(premises, &vec![fact("a", [1, 2])]);
             }

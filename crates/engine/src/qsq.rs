@@ -131,7 +131,10 @@ impl<'p> QsqState<'p> {
                     .collect();
                 for tuple in tuples {
                     self.stats.probes += 1;
-                    let g = GroundAtom { pred: atom.pred, tuple };
+                    let g = GroundAtom {
+                        pred: atom.pred,
+                        tuple,
+                    };
                     let pattern = s.apply_atom(atom);
                     let mut s2 = s.clone();
                     if datalog_ast::match_atom_into(&pattern, &g, &mut s2) {
@@ -142,7 +145,10 @@ impl<'p> QsqState<'p> {
                 let pattern = s.apply_atom(atom);
                 for tuple in self.edb.relation(atom.pred) {
                     self.stats.probes += 1;
-                    let g = GroundAtom { pred: atom.pred, tuple: tuple.clone() };
+                    let g = GroundAtom {
+                        pred: atom.pred,
+                        tuple: tuple.clone(),
+                    };
                     let mut s2 = s.clone();
                     if datalog_ast::match_atom_into(&pattern, &g, &mut s2) {
                         worklist.push((i + 1, s2));
@@ -174,7 +180,11 @@ pub fn answer_with_stats(program: &Program, edb: &Database, query: &Atom) -> (Da
     let query_adornment = Adornment::of_atom(query, &BTreeSet::new());
     let binding: Vec<Const> = query_adornment
         .bound_positions()
-        .map(|i| query.terms[i].as_const().expect("bound position holds a constant"))
+        .map(|i| {
+            query.terms[i]
+                .as_const()
+                .expect("bound position holds a constant")
+        })
         .collect();
     state.issue((query.pred, query_adornment.clone()), binding);
 
@@ -198,7 +208,10 @@ pub fn answer_with_stats(program: &Program, edb: &Database, query: &Atom) -> (Da
                 Term::Var(_) => true,
             });
             if ok {
-                out.insert(GroundAtom { pred: query.pred, tuple: tuple.clone() });
+                out.insert(GroundAtom {
+                    pred: query.pred,
+                    tuple: tuple.clone(),
+                });
             }
         }
     }
@@ -258,7 +271,10 @@ mod tests {
         let expected: Database = full
             .relation(Pred::new("sg"))
             .filter(|t| t[0] == Const::Int(1))
-            .map(|t| GroundAtom { pred: Pred::new("sg"), tuple: t.clone() })
+            .map(|t| GroundAtom {
+                pred: Pred::new("sg"),
+                tuple: t.clone(),
+            })
             .collect();
         assert_eq!(got, expected);
     }
@@ -286,7 +302,10 @@ mod tests {
     #[test]
     fn fully_bound_hit_and_miss() {
         let edb = parse_database("a(1,2). a(2,3).").unwrap();
-        assert_eq!(answer(&tc_left(), &edb, &parse_atom("g(1, 3)").unwrap()).len(), 1);
+        assert_eq!(
+            answer(&tc_left(), &edb, &parse_atom("g(1, 3)").unwrap()).len(),
+            1
+        );
         assert!(answer(&tc_left(), &edb, &parse_atom("g(3, 1)").unwrap()).is_empty());
     }
 
@@ -303,7 +322,11 @@ mod tests {
 
     #[test]
     fn empty_program_and_edb() {
-        let got = answer(&Program::empty(), &Database::new(), &parse_atom("g(X)").unwrap());
+        let got = answer(
+            &Program::empty(),
+            &Database::new(),
+            &parse_atom("g(X)").unwrap(),
+        );
         assert!(got.is_empty());
     }
 }

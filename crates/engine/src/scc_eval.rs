@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn layers_never_reorder_dependencies() {
-        let p = parse_program(
-            "c(X) :- b(X). b(X) :- a(X). d(X) :- c(X), b(X).",
-        )
-        .unwrap();
+        let p = parse_program("c(X) :- b(X). b(X) :- a(X). d(X) :- c(X), b(X).").unwrap();
         let ls = layers(&p);
         // b before c before d.
         let pos = |head: &str| {
@@ -109,10 +106,8 @@ mod tests {
 
     #[test]
     fn idb_seeded_inputs_still_agree() {
-        let p = parse_program(
-            "t(X, Z) :- e(X, Z). t(X, Z) :- t(X, Y), t(Y, Z). s(X) :- t(X, X).",
-        )
-        .unwrap();
+        let p = parse_program("t(X, Z) :- e(X, Z). t(X, Z) :- t(X, Y), t(Y, Z). s(X) :- t(X, X).")
+            .unwrap();
         let input = parse_database("e(1,2). t(2,1). s(9).").unwrap();
         assert_eq!(evaluate(&p, &input), naive::evaluate(&p, &input));
     }

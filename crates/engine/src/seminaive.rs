@@ -113,13 +113,19 @@ mod tests {
     #[test]
     fn agrees_with_naive_on_example2() {
         let edb = parse_database("a(1,2). a(1,4). a(4,1).").unwrap();
-        assert_eq!(evaluate(&tc_program(), &edb), naive::evaluate(&tc_program(), &edb));
+        assert_eq!(
+            evaluate(&tc_program(), &edb),
+            naive::evaluate(&tc_program(), &edb)
+        );
     }
 
     #[test]
     fn agrees_with_naive_with_idb_input() {
         let input = parse_database("a(1,2). a(1,4). g(4,1).").unwrap();
-        assert_eq!(evaluate(&tc_program(), &input), naive::evaluate(&tc_program(), &input));
+        assert_eq!(
+            evaluate(&tc_program(), &input),
+            naive::evaluate(&tc_program(), &input)
+        );
     }
 
     #[test]

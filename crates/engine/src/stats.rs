@@ -46,14 +46,40 @@ mod tests {
 
     #[test]
     fn add_assign_sums_fields() {
-        let mut a = Stats { iterations: 1, probes: 10, matches: 5, derivations: 3 };
-        a += Stats { iterations: 2, probes: 1, matches: 1, derivations: 1 };
-        assert_eq!(a, Stats { iterations: 3, probes: 11, matches: 6, derivations: 4 });
+        let mut a = Stats {
+            iterations: 1,
+            probes: 10,
+            matches: 5,
+            derivations: 3,
+        };
+        a += Stats {
+            iterations: 2,
+            probes: 1,
+            matches: 1,
+            derivations: 1,
+        };
+        assert_eq!(
+            a,
+            Stats {
+                iterations: 3,
+                probes: 11,
+                matches: 6,
+                derivations: 4
+            }
+        );
     }
 
     #[test]
     fn display_is_readable() {
-        let s = Stats { iterations: 2, probes: 7, matches: 4, derivations: 3 };
-        assert_eq!(s.to_string(), "iterations=2 probes=7 matches=4 derivations=3");
+        let s = Stats {
+            iterations: 2,
+            probes: 7,
+            matches: 4,
+            derivations: 3,
+        };
+        assert_eq!(
+            s.to_string(),
+            "iterations=2 probes=7 matches=4 derivations=3"
+        );
     }
 }

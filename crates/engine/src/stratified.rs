@@ -21,7 +21,10 @@ pub struct NotStratifiable;
 
 impl fmt::Display for NotStratifiable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "program is not stratifiable: a recursive cycle passes through negation")
+        write!(
+            f,
+            "program is not stratifiable: a recursive cycle passes through negation"
+        )
     }
 }
 
@@ -204,8 +207,8 @@ mod tests {
     #[test]
     fn negation_within_recursion_positive_part_ok() {
         // Negated predicate is EDB: single stratum works.
-        let p = parse_program("t(X, Y) :- e(X, Y), !block(X). t(X, Z) :- t(X, Y), t(Y, Z).")
-            .unwrap();
+        let p =
+            parse_program("t(X, Y) :- e(X, Y), !block(X). t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
         let edb = parse_database("e(1,2). e(2,3). block(2).").unwrap();
         let out = evaluate(&p, &edb).unwrap();
         assert!(out.contains_tuple(Pred::new("t"), &[1.into(), 2.into()]));

@@ -107,8 +107,9 @@ pub fn random_db(preds: &[(&str, usize)], tuples_per: usize, domain: i64, seed: 
     let mut db = Database::new();
     for &(name, arity) in preds {
         for _ in 0..tuples_per {
-            let tuple: Vec<datalog_ast::Const> =
-                (0..arity).map(|_| rng.gen_range(0..domain.max(1)).into()).collect();
+            let tuple: Vec<datalog_ast::Const> = (0..arity)
+                .map(|_| rng.gen_range(0..domain.max(1)).into())
+                .collect();
             db.insert(GroundAtom::new(name, tuple));
         }
     }
@@ -151,10 +152,22 @@ mod tests {
 
     #[test]
     fn erdos_renyi_is_deterministic_per_seed() {
-        let a = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 7 });
-        let b = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 7 });
+        let a = edges(GraphKind::ErdosRenyi {
+            n: 20,
+            p: 0.2,
+            seed: 7,
+        });
+        let b = edges(GraphKind::ErdosRenyi {
+            n: 20,
+            p: 0.2,
+            seed: 7,
+        });
         assert_eq!(a, b);
-        let c = edges(GraphKind::ErdosRenyi { n: 20, p: 0.2, seed: 8 });
+        let c = edges(GraphKind::ErdosRenyi {
+            n: 20,
+            p: 0.2,
+            seed: 8,
+        });
         assert_ne!(a, c);
     }
 

@@ -21,8 +21,8 @@ pub mod redundancy;
 
 pub use graphs::{edge_db, edges, random_db, GraphKind};
 pub use programs::{
-    guarded_reach, random_program, random_stratified_program, same_generation,
-    transitive_closure, RandomProgramSpec, TcVariant,
+    guarded_reach, random_program, random_stratified_program, same_generation, transitive_closure,
+    RandomProgramSpec, TcVariant,
 };
 pub use redundancy::{
     bloated_tc, compose_rule, duplicate_atom, inject, rename_rule, specialize_rule, widen_atom,

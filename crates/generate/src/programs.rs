@@ -26,9 +26,7 @@ pub fn transitive_closure(variant: TcVariant) -> Program {
         TcVariant::Doubling => "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).",
         TcVariant::LeftLinear => "g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).",
         TcVariant::RightLinear => "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), a(Y, Z).",
-        TcVariant::GuardedDoubling => {
-            "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W)."
-        }
+        TcVariant::GuardedDoubling => "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
     };
     parse_program(src).expect("builtin program parses")
 }
@@ -85,10 +83,10 @@ impl Default for RandomProgramSpec {
 /// random programs") and scaling benches.
 pub fn random_program(spec: &RandomProgramSpec, seed: u64) -> Program {
     let mut rng = StdRng::seed_from_u64(seed);
-    let vars: Vec<Var> =
-        (0..spec.var_pool).map(|i| Var::new(&format!("V{i}"))).collect();
-    let all_preds: Vec<(String, usize)> =
-        spec.edb.iter().chain(spec.idb.iter()).cloned().collect();
+    let vars: Vec<Var> = (0..spec.var_pool)
+        .map(|i| Var::new(&format!("V{i}")))
+        .collect();
+    let all_preds: Vec<(String, usize)> = spec.edb.iter().chain(spec.idb.iter()).cloned().collect();
     let mut rules = Vec::with_capacity(spec.rules);
     for _ in 0..spec.rules {
         let body_len = rng.gen_range(spec.body_len.0..=spec.body_len.1.max(spec.body_len.0));
@@ -216,7 +214,10 @@ mod tests {
 
     #[test]
     fn random_program_respects_body_len() {
-        let spec = RandomProgramSpec { body_len: (2, 2), ..Default::default() };
+        let spec = RandomProgramSpec {
+            body_len: (2, 2),
+            ..Default::default()
+        };
         let p = random_program(&spec, 1);
         assert!(p.rules.iter().all(|r| r.width() == 2));
     }

@@ -31,8 +31,9 @@ use rand::{Rng, SeedableRng};
 /// Returns `None` if the program has no rule with a non-empty body.
 pub fn duplicate_atom(program: &Program, seed: u64) -> Option<Program> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let candidates: Vec<usize> =
-        (0..program.len()).filter(|&i| program.rules[i].width() > 0).collect();
+    let candidates: Vec<usize> = (0..program.len())
+        .filter(|&i| program.rules[i].width() > 0)
+        .collect();
     let &rule_idx = pick(&mut rng, &candidates)?;
     let mut out = program.clone();
     let rule = &mut out.rules[rule_idx];
@@ -97,8 +98,9 @@ pub fn rename_rule(program: &Program, seed: u64) -> Option<Program> {
 /// unified. Returns `None` if no rule has two distinct variables.
 pub fn specialize_rule(program: &Program, seed: u64) -> Option<Program> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let candidates: Vec<usize> =
-        (0..program.len()).filter(|&i| program.rules[i].vars().len() >= 2).collect();
+    let candidates: Vec<usize> = (0..program.len())
+        .filter(|&i| program.rules[i].vars().len() >= 2)
+        .collect();
     let &rule_idx = pick(&mut rng, &candidates)?;
     let rule = &program.rules[rule_idx];
     let vars: Vec<Var> = rule.vars().into_iter().collect();
@@ -165,7 +167,7 @@ pub fn compose_rule(program: &Program, seed: u64) -> Option<Program> {
                 body.push(mgu.apply_literal(lit));
             }
         }
-        let unfolded = Rule { head: mgu.apply_atom(&outer.head), body };
+        let unfolded = Rule::new(mgu.apply_atom(&outer.head), body);
         if !unfolded.is_range_restricted() {
             continue;
         }

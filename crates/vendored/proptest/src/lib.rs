@@ -1,0 +1,578 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest) 1.x.
+//!
+//! The build environment for this workspace has no network access, so the
+//! subset of proptest the workspace's property tests use is re-implemented
+//! here: the [`Strategy`] trait, [`proptest!`], [`prop_assert!`],
+//! [`prop_assert_eq!`], [`prop_oneof!`], `any::<T>()`, ranges and tuples as
+//! strategies, `collection::vec`, `sample::select`, `sample::Index`, and a
+//! small regex-subset string strategy.
+//!
+//! Differences from upstream, deliberate for a test-only stand-in:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via the
+//!   assertion message instead of a minimized counterexample;
+//! * **deterministic seeding** — each test's RNG is seeded from the test
+//!   name (override with `PROPTEST_SEED`), so failures reproduce exactly;
+//! * regex strategies support the subset used in-tree: literal chars,
+//!   `\PC`, `[...]` classes with ranges, and `*` / `{m,n}` quantifiers.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 RNG used to drive all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a), or from `PROPTEST_SEED` if set.
+    pub fn deterministic(name: &str) -> TestRng {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng { state: seed };
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling range");
+        self.next_u64() % n
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A failed test case; returned by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-`proptest!`-block configuration. Only `cases` is interpreted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Accepted for upstream compatibility; shrinking is not implemented,
+    /// so the value is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// A generator of values. Upstream proptest separates strategies from value
+/// trees (for shrinking); without shrinking a strategy is just a sampler.
+pub trait Strategy {
+    type Value;
+
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128) as u64 + 1;
+                (start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn gen(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `"regex"` as a strategy for `String`, supporting the in-tree subset:
+/// literal characters, `\PC` (printable), `[...]` classes with `a-z` ranges,
+/// and `*` / `{m,n}` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    enum Piece {
+        /// Candidate characters to draw from.
+        Class(Vec<char>),
+        /// Repetition bounds applied to the preceding class.
+        Repeat { min: usize, max: usize },
+    }
+
+    fn printable() -> Vec<char> {
+        // A representative slice of "not a control character": ASCII
+        // printables plus a few multibyte characters to exercise UTF-8
+        // handling in parsers under test.
+        let mut v: Vec<char> = (' '..='~').collect();
+        v.extend(['é', 'λ', '→', '中']);
+        v
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut out = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' && i + 1 < chars.len() {
+                out.push(chars[i + 1]);
+                i += 2;
+            } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                out.extend(lo..=hi);
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        (out, i + 1) // skip ']'
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1);
+                    pieces.push(Piece::Class(class));
+                    i = next;
+                }
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    pieces.push(Piece::Class(printable()));
+                    i += 3;
+                }
+                '\\' if i + 1 < chars.len() => {
+                    pieces.push(Piece::Class(vec![chars[i + 1]]));
+                    i += 2;
+                }
+                '*' => {
+                    pieces.push(Piece::Repeat { min: 0, max: 8 });
+                    i += 1;
+                }
+                '{' => {
+                    let close = (i..chars.len()).find(|&j| chars[j] == '}').unwrap_or(i);
+                    let spec: String = chars[i + 1..close].iter().collect();
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    };
+                    pieces.push(Piece::Repeat { min, max });
+                    i = close + 1;
+                }
+                c => {
+                    pieces.push(Piece::Class(vec![c]));
+                    i += 1;
+                }
+            }
+        }
+        pieces
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        let mut i = 0;
+        while i < pieces.len() {
+            if let Piece::Class(class) = &pieces[i] {
+                let (min, max) = match pieces.get(i + 1) {
+                    Some(Piece::Repeat { min, max }) => (*min, *max),
+                    _ => (1, 1),
+                };
+                let n = if max > min {
+                    min + (rng.below((max - min + 1) as u64) as usize)
+                } else {
+                    min
+                };
+                for _ in 0..n {
+                    if !class.is_empty() {
+                        out.push(class[rng.below(class.len() as u64) as usize]);
+                    }
+                }
+                i += if matches!(pieces.get(i + 1), Some(Piece::Repeat { .. })) { 2 } else { 1 };
+            } else {
+                i += 1; // stray quantifier; ignore
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_ints!(u64, u32, i64, i32, usize, u8, i8);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// A union of strategies with a common value type ([`prop_oneof!`]).
+pub struct Union<V> {
+    pub choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.choices.len() as u64) as usize;
+        self.choices[idx].gen(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.clone().gen(rng);
+            (0..len).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+
+    /// A vector of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn gen(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniformly select one of the given options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    /// An abstract index, resolved against a collection length at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: usize,
+    }
+
+    impl Index {
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on an empty collection");
+            self.raw % size
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index { raw: rng.next_u64() as usize }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Choose among strategies with a common value type. Weights (`n => strat`)
+/// are accepted and ignored (selection is uniform).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union { choices: vec![$(::std::boxed::Box::new($strategy)),+] }
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union { choices: vec![$(::std::boxed::Box::new($strategy)),+] }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(#[test] fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $crate::Strategy::gen(&($strategy), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case}/{} failed: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_plausible_strings() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..50 {
+            let s = crate::Strategy::gen(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let any_printable = crate::Strategy::gen(&"\\PC*", &mut rng);
+        assert!(any_printable.chars().count() <= 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -4i64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn tuples_and_collections((a, b) in (0u32..5, any::<bool>()), v in prop::collection::vec(0i64..3, 1..6)) {
+            prop_assert!(a < 5);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..3).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_select(s in prop_oneof![
+            prop::sample::select(vec!["x", "y"]).prop_map(str::to_owned),
+            "[0-9]{1,3}",
+        ]) {
+            prop_assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) 0.8.
+//!
+//! The build environment for this workspace has no network access, so the
+//! handful of `rand` APIs the workspace uses are re-implemented here on top
+//! of SplitMix64. Everything is deterministic for a fixed seed, which is all
+//! the generators and property tests rely on. The surface is intentionally
+//! tiny: [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! Note the stream differs from upstream `rand` (seeds produce different
+//! values), which is fine: nothing in the workspace depends on a specific
+//! stream, only on determinism.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds. Only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from the full value range (the `Standard`
+/// distribution of real `rand`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types uniformly samplable from half-open and closed ranges.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_exclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start < end, "gen_range: empty range");
+                let width = (end as i128 - start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (start as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                assert!(start <= end, "gen_range: empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % width;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive<R: RngCore + ?Sized>(start: f64, end: f64, rng: &mut R) -> f64 {
+        assert!(start < end, "gen_range: empty range");
+        start + f64::sample(rng) * (end - start)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(start: f64, end: f64, rng: &mut R) -> f64 {
+        f64::sample_exclusive(start, end, rng)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]. The single blanket impl per
+/// range shape (mirroring real `rand`) is what lets inference unify the
+/// range's element type with `gen_range`'s return type.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The user-facing sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stands in for `rand`'s `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014) — passes BigCrush, more
+            // than enough for workload generation and property tests.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "suspiciously biased: {hits}/1000");
+    }
+}

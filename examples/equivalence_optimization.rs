@@ -67,14 +67,20 @@ fn main() {
     // The packaged pipeline reaches the same conclusion:
     let (optimized, applied) = optimize_under_equivalence(&p1, 10_000).unwrap();
     assert_eq!(applied.len(), 1);
-    assert!(uniformly_contains(&optimized, &p2).unwrap() && uniformly_contains(&p2, &optimized).unwrap());
+    assert!(
+        uniformly_contains(&optimized, &p2).unwrap()
+            && uniformly_contains(&p2, &optimized).unwrap()
+    );
 
     // Demonstrate equivalence concretely, and the uniform-equivalence gap.
     let mut edb = edge_db("a", GraphKind::Chain { n: 30 });
     for i in 0..=30i64 {
         edb.insert(fact("c", [i]));
     }
-    assert_eq!(seminaive::evaluate(&p1, &edb), seminaive::evaluate(&optimized, &edb));
+    assert_eq!(
+        seminaive::evaluate(&p1, &edb),
+        seminaive::evaluate(&optimized, &edb)
+    );
     println!("identical outputs on a 30-chain with full certificates ✓");
 
     let seeded = parse_database("a(0, 1). g(1, 9).").unwrap(); // 9 has no c-certificate

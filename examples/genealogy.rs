@@ -30,10 +30,18 @@ fn main() {
     .unwrap();
     validate_positive(&program).unwrap();
 
-    println!("original program: {} rules, {} body atoms", program.len(), program.total_width());
+    println!(
+        "original program: {} rules, {} body atoms",
+        program.len(),
+        program.total_width()
+    );
 
     let (minimized, removal) = minimize_program(&program).unwrap();
-    println!("minimized:        {} rules, {} body atoms", minimized.len(), minimized.total_width());
+    println!(
+        "minimized:        {} rules, {} body atoms",
+        minimized.len(),
+        minimized.total_width()
+    );
     for (idx, atom) in &removal.atoms {
         println!("  - atom {atom} dropped from rule {idx}");
     }
@@ -60,7 +68,10 @@ fn main() {
     let (full, stats) = seminaive::evaluate_with_stats(&minimized, &edb);
     println!("\nevaluation: {stats}");
     println!("ancestor tuples: {}", full.relation_len(Pred::new("anc")));
-    println!("same-generation tuples: {}", full.relation_len(Pred::new("sg")));
+    println!(
+        "same-generation tuples: {}",
+        full.relation_len(Pred::new("sg"))
+    );
 
     // Erin and Gina are same-generation cousins through carol/dan.
     let erin_gina = GroundAtom::new("sg", vec![Const::from("erin"), Const::from("gina")]);

@@ -59,7 +59,11 @@ fn main() {
     .unwrap();
 
     let (result, stats) = seminaive::evaluate_with_stats(&minimized, &edb);
-    assert_eq!(result, seminaive::evaluate(&program, &edb), "optimization is sound");
+    assert_eq!(
+        result,
+        seminaive::evaluate(&program, &edb),
+        "optimization is sound"
+    );
 
     println!("\npoints-to facts ({stats}):");
     for t in result.relation(Pred::new("pts")) {

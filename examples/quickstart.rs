@@ -18,12 +18,20 @@ fn main() {
     let program = parse_program(source).expect("parses");
     validate_positive(&program).expect("valid positive Datalog");
 
-    println!("original program ({} rules, {} body atoms):", program.len(), program.total_width());
+    println!(
+        "original program ({} rules, {} body atoms):",
+        program.len(),
+        program.total_width()
+    );
     print!("{program}");
 
     // Fig. 2: remove atoms redundant under uniform equivalence, then rules.
     let (minimized, removal) = minimize_program(&program).expect("minimization");
-    println!("\nminimized program ({} rules, {} body atoms):", minimized.len(), minimized.total_width());
+    println!(
+        "\nminimized program ({} rules, {} body atoms):",
+        minimized.len(),
+        minimized.total_width()
+    );
     print!("{minimized}");
     for (rule_idx, atom) in &removal.atoms {
         println!("  - removed redundant atom {atom} from rule {rule_idx}");
@@ -35,13 +43,20 @@ fn main() {
     // The §X–XI equivalence phase removes edge(X, W), which is redundant
     // under plain equivalence but NOT under uniform equivalence.
     let (optimized, applied) = optimize_under_equivalence(&minimized, 10_000).expect("optimize");
-    println!("\nafter equivalence optimization ({} body atoms):", optimized.total_width());
+    println!(
+        "\nafter equivalence optimization ({} body atoms):",
+        optimized.total_width()
+    );
     print!("{optimized}");
     for opt in &applied {
         println!(
             "  - tgd {} certified removing {}",
             opt.tgd,
-            opt.removed_atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            opt.removed_atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 

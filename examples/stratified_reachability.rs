@@ -26,7 +26,11 @@ fn main() {
     validate(&program).unwrap();
 
     let strata = DepGraph::new(&program).stratify().unwrap();
-    println!("strata: reach={}, dark={}", strata[&Pred::new("reach")], strata[&Pred::new("dark")]);
+    println!(
+        "strata: reach={}, dark={}",
+        strata[&Pred::new("reach")],
+        strata[&Pred::new("dark")]
+    );
 
     let (minimized, removal) = minimize_stratified(&program).unwrap();
     println!("\nminimized stratified program:");
@@ -52,12 +56,19 @@ fn main() {
 
     let full = stratified::evaluate(&minimized, &edb).unwrap();
     let orig = stratified::evaluate(&program, &edb).unwrap();
-    assert_eq!(full, orig, "minimization preserved the stratified semantics");
+    assert_eq!(
+        full, orig,
+        "minimization preserved the stratified semantics"
+    );
 
-    let reach: Vec<String> =
-        full.relation(Pred::new("reach")).map(|t| t[0].to_string()).collect();
-    let dark: Vec<String> =
-        full.relation(Pred::new("dark")).map(|t| t[0].to_string()).collect();
+    let reach: Vec<String> = full
+        .relation(Pred::new("reach"))
+        .map(|t| t[0].to_string())
+        .collect();
+    let dark: Vec<String> = full
+        .relation(Pred::new("dark"))
+        .map(|t| t[0].to_string())
+        .collect();
     println!("\nreachable: {}", reach.join(", "));
     println!("dark:      {}", dark.join(", "));
     assert_eq!(dark, vec!["4", "5", "6"]);

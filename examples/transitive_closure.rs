@@ -15,11 +15,21 @@ fn main() {
     println!("P2 (left-linear):\n{left_linear}");
 
     // They are EQUIVALENT: same output for every EDB.
-    let edb = edge_db("a", GraphKind::ErdosRenyi { n: 15, p: 0.15, seed: 42 });
+    let edb = edge_db(
+        "a",
+        GraphKind::ErdosRenyi {
+            n: 15,
+            p: 0.15,
+            seed: 42,
+        },
+    );
     let o1 = seminaive::evaluate(&doubling, &edb);
     let o2 = seminaive::evaluate(&left_linear, &edb);
     assert_eq!(o1, o2);
-    println!("on a random 15-node graph both compute {} closure tuples\n", o1.relation_len(Pred::new("g")));
+    println!(
+        "on a random 15-node graph both compute {} closure tuples\n",
+        o1.relation_len(Pred::new("g"))
+    );
 
     // But NOT uniformly equivalent (Example 4): seed g with a relation that
     // is not its own transitive closure.
@@ -40,23 +50,35 @@ fn main() {
     let guarded = transitive_closure(TcVariant::GuardedDoubling);
     println!("P1 guarded:\n{guarded}");
     let (min, removal) = minimize_program(&guarded).unwrap();
-    println!("Fig. 2 (uniform equivalence) removes {} parts — the guard is safe there", removal.len());
+    println!(
+        "Fig. 2 (uniform equivalence) removes {} parts — the guard is safe there",
+        removal.len()
+    );
     assert_eq!(min, guarded);
 
     let (optimized, applied) = optimize_under_equivalence(&guarded, 10_000).unwrap();
-    println!("§X–XI equivalence optimization removes it via the tgd {}:", applied[0].tgd);
+    println!(
+        "§X–XI equivalence optimization removes it via the tgd {}:",
+        applied[0].tgd
+    );
     print!("{optimized}");
 
     // Measure the benefit at scale: the doubling program over growing
     // chains, guarded vs optimized.
     println!("\njoin work saved (semi-naive, chain EDBs):");
-    println!("{:>8} {:>12} {:>12} {:>8}", "n", "probes(P1)", "probes(opt)", "saved");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "n", "probes(P1)", "probes(opt)", "saved"
+    );
     for n in [16usize, 32, 64, 128] {
         let edb = edge_db("a", GraphKind::Chain { n });
         let (out_g, stats_g) = seminaive::evaluate_with_stats(&guarded, &edb);
         let (out_o, stats_o) = seminaive::evaluate_with_stats(&optimized, &edb);
         assert_eq!(out_g, out_o);
         let saved = 100.0 * (1.0 - stats_o.probes as f64 / stats_g.probes as f64);
-        println!("{n:>8} {:>12} {:>12} {saved:>7.1}%", stats_g.probes, stats_o.probes);
+        println!(
+            "{n:>8} {:>12} {:>12} {saved:>7.1}%",
+            stats_g.probes, stats_o.probes
+        );
     }
 }

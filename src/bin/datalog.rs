@@ -2,19 +2,25 @@
 //!
 //! ```text
 //! datalog check    <program.dl>                       validate a program
+//! datalog lint     <program.dl> [--format text|json]  structural + semantic lints
+//!                  [--deny <code>]... [--fuel N]
 //! datalog analyze  <program.dl>                       predicates, recursion, strata
 //! datalog minimize <program.dl>                       Fig. 2 minimization (≡u)
 //! datalog optimize <program.dl> [--fuel N]            Fig. 2 + §X–XI equivalence phase
 //! datalog eval     <program.dl> --edb <facts.dl>      bottom-up evaluation
 //!                  [--engine naive|seminaive|scc|stratified] [--stats]
+//! datalog run      <unit.dl> [--stats]                evaluate rules + facts [+ tgds] in one file
+//! datalog repl     [<program.dl>]                     interactive session
 //! datalog query    '<atom>' <program.dl> --edb <facts.dl>   magic-sets query
 //! datalog explain  '<atom>' <program.dl> --edb <facts.dl>   provenance proof tree
 //! datalog contains <p1.dl> <p2.dl>                    uniform containment, both ways
+//! datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N] equivalence analysis (§X–§XI)
 //! datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
 //! ```
 //!
 //! Exit codes: 0 success, 1 user error (bad args, parse/validation
-//! failures), 2 property does not hold (e.g. `contains` finds none).
+//! failures), 2 property does not hold (e.g. `contains` finds none; `lint`
+//! emits an error-severity diagnostic).
 
 use sagiv_datalog::optimizer::{minimize_stratified, ChaseTermination};
 use sagiv_datalog::prelude::*;
@@ -39,6 +45,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "check" => cmd_check(rest),
+        "lint" => cmd_lint(rest),
         "analyze" => cmd_analyze(rest),
         "minimize" => cmd_minimize(rest),
         "optimize" => cmd_optimize(rest),
@@ -64,6 +71,7 @@ fn print_usage() {
 
 usage:
   datalog check    <program.dl>
+  datalog lint     <program.dl> [--format text|json] [--deny <code>]... [--fuel N]
   datalog analyze  <program.dl>
   datalog minimize <program.dl>
   datalog optimize <program.dl> [--fuel N]
@@ -91,8 +99,9 @@ fn split_flags(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
                 flags.push((name, ""));
                 i += 1;
             } else {
-                let value =
-                    args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.push((name, value.as_str()));
                 i += 2;
             }
@@ -115,10 +124,21 @@ impl<'a> Flags<'a> {
         self.0.iter().any(|(n, _)| *n == name)
     }
 
+    /// All values of a repeatable flag, e.g. `--deny L201 --deny L121`.
+    fn get_all(&self, name: &str) -> impl Iterator<Item = &'a str> + '_ {
+        let name = name.to_string();
+        self.0
+            .iter()
+            .filter(move |(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
     fn fuel(&self) -> Result<u64, String> {
         match self.get("fuel") {
             None => Ok(10_000),
-            Some(v) => v.parse().map_err(|_| format!("--fuel: `{v}` is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--fuel: `{v}` is not a number")),
         }
     }
 }
@@ -139,7 +159,9 @@ fn load_database(path: &str) -> Result<Database, String> {
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     let (pos, _) = split_flags(args)?;
-    let [path] = pos.as_slice() else { return Err("usage: datalog check <program.dl>".into()) };
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog check <program.dl>".into());
+    };
     let src = read_file(path)?;
     let unit = parse_unit(&src).map_err(|e| format!("{path}: {e}"))?;
     let mut failed = false;
@@ -169,9 +191,60 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    use sagiv_datalog::analysis::{analyze_unit, LintConfig, Severity};
+
+    let (pos, flags) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err(
+            "usage: datalog lint <program.dl> [--format text|json] [--deny <code>]... [--fuel N]"
+                .into(),
+        );
+    };
+    let src = read_file(path)?;
+    let unit = parse_unit(&src).map_err(|e| format!("{path}: {e}"))?;
+    let mut config = LintConfig::default().with_fuel(flags.fuel()?);
+    for code in flags.get_all("deny") {
+        config = config.deny(code);
+    }
+    for code in flags.get_all("allow") {
+        config = config.disable(code);
+    }
+    let report = analyze_unit(&unit, &config);
+    match flags.get("format").unwrap_or("text") {
+        "json" => println!("{}", report.to_json().to_pretty()),
+        "text" => {
+            for d in &report.diagnostics {
+                println!("{path}: {d}");
+            }
+            let mut summary = format!(
+                "{} error(s), {} warning(s), {} note(s)",
+                report.count(Severity::Error),
+                report.count(Severity::Warning),
+                report.count(Severity::Note)
+            );
+            if report.skipped_semantic_checks > 0 {
+                summary.push_str(&format!(
+                    "; {} semantic check(s) skipped (raise --fuel)",
+                    report.skipped_semantic_checks
+                ));
+            }
+            eprintln!("% {summary}");
+        }
+        other => return Err(format!("unknown format `{other}` (text|json)")),
+    }
+    Ok(if report.max_severity() == Some(Severity::Error) {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let (pos, _) = split_flags(args)?;
-    let [path] = pos.as_slice() else { return Err("usage: datalog analyze <program.dl>".into()) };
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog analyze <program.dl>".into());
+    };
     let program = load_program(path)?;
     let graph = DepGraph::new(&program);
     let idb = program.intentional();
@@ -180,14 +253,23 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     println!("body atoms:  {}", program.total_width());
     println!(
         "intentional: {}",
-        idb.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        idb.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "extensional: {}",
-        edb.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        edb.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("recursive:   {}", graph.is_recursive());
-    println!("linear:      {}", datalog_ast::depgraph::is_linear(&program));
+    println!(
+        "linear:      {}",
+        datalog_ast::depgraph::is_linear(&program)
+    );
     match graph.stratify() {
         Some(strata) => {
             let max = strata.values().copied().max().unwrap_or(0);
@@ -203,7 +285,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
     let (pos, _) = split_flags(args)?;
-    let [path] = pos.as_slice() else { return Err("usage: datalog minimize <program.dl>".into()) };
+    let [path] = pos.as_slice() else {
+        return Err("usage: datalog minimize <program.dl>".into());
+    };
     let program = load_program(path)?;
     let (minimized, removal) = if program.is_positive() {
         minimize_program(&program).map_err(|e| e.to_string())?
@@ -239,7 +323,11 @@ fn cmd_optimize(args: &[String]) -> Result<ExitCode, String> {
         eprintln!(
             "% [≡ via tgd {}] removed {}",
             opt.tgd,
-            opt.removed_atoms.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            opt.removed_atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
     Ok(ExitCode::SUCCESS)
@@ -248,7 +336,9 @@ fn cmd_optimize(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_eval(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags) = split_flags(args)?;
     let [path] = pos.as_slice() else {
-        return Err("usage: datalog eval <program.dl> --edb <facts.dl> [--engine E] [--stats]".into());
+        return Err(
+            "usage: datalog eval <program.dl> --edb <facts.dl> [--engine E] [--stats]".into(),
+        );
     };
     let program = load_program(path)?;
     let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
@@ -257,8 +347,9 @@ fn cmd_eval(args: &[String]) -> Result<ExitCode, String> {
         "naive" => naive::evaluate_with_stats(&program, &edb),
         "seminaive" => seminaive::evaluate_with_stats(&program, &edb),
         "scc" => scc_eval::evaluate_with_stats(&program, &edb),
-        "stratified" => stratified::evaluate_with_stats(&program, &edb)
-            .map_err(|e| e.to_string())?,
+        "stratified" => {
+            stratified::evaluate_with_stats(&program, &edb).map_err(|e| e.to_string())?
+        }
         other => return Err(format!("unknown engine `{other}`")),
     };
     for atom in out.iter() {
@@ -290,8 +381,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
     } else {
         // With tgds: run the combined [P, T] chase (fuel-bounded).
-        let fuel =
-            sagiv_datalog::optimizer::fuel_for(&unit.tgds, flags.fuel()?);
+        let fuel = sagiv_datalog::optimizer::fuel_for(&unit.tgds, flags.fuel()?);
         let result = chase(&unit.program, &unit.tgds, &input, fuel, None);
         eprintln!("% chase status: {:?}", result.status);
         (result.db, Stats::default())
@@ -324,7 +414,11 @@ fn cmd_query(args: &[String]) -> Result<ExitCode, String> {
     if flags.has("stats") {
         eprintln!("% {stats}");
     }
-    Ok(if answers.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS })
+    Ok(if answers.is_empty() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
@@ -333,7 +427,9 @@ fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
         return Err("usage: datalog explain '<atom>' <program.dl> --edb <facts.dl>".into());
     };
     let atom = parse_atom(atom_src).map_err(|e| e.to_string())?;
-    let goal = atom.to_ground().ok_or("the atom to explain must be ground")?;
+    let goal = atom
+        .to_ground()
+        .ok_or("the atom to explain must be ground")?;
     let program = load_program(path)?;
     let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
     let traced = sagiv_datalog::engine::provenance::evaluate_traced(&program, &edb);
@@ -361,7 +457,11 @@ fn cmd_contains(args: &[String]) -> Result<ExitCode, String> {
     println!("P2 ⊑u P1 (P1 uniformly contains P2): {fwd}");
     println!("P1 ⊑u P2 (P2 uniformly contains P1): {bwd}");
     println!("uniformly equivalent: {}", fwd && bwd);
-    Ok(if fwd && bwd { ExitCode::SUCCESS } else { ExitCode::from(2) })
+    Ok(if fwd && bwd {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn cmd_equiv(args: &[String]) -> Result<ExitCode, String> {
@@ -374,7 +474,9 @@ fn cmd_equiv(args: &[String]) -> Result<ExitCode, String> {
     let p2 = load_program(p2_path)?;
     let samples = match flags.get("samples") {
         None => 200,
-        Some(v) => v.parse().map_err(|_| format!("--samples: `{v}` is not a number"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--samples: `{v}` is not a number"))?,
     };
     let verdict =
         analyze_equivalence(&p1, &p2, flags.fuel()?, samples).map_err(|e| e.to_string())?;
@@ -407,7 +509,9 @@ fn cmd_equiv(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_chase(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags) = split_flags(args)?;
     let [path] = pos.as_slice() else {
-        return Err("usage: datalog chase <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]".into());
+        return Err(
+            "usage: datalog chase <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]".into(),
+        );
     };
     let program = load_program(path)?;
     let tgds_src = read_file(flags.get("tgds").ok_or("--tgds <tgds.dl> is required")?)?;
@@ -427,7 +531,10 @@ fn cmd_chase(args: &[String]) -> Result<ExitCode, String> {
     for atom in result.db.iter() {
         println!("{atom}.");
     }
-    eprintln!("% status: {:?}, atoms added: {}", result.status, result.added);
+    eprintln!(
+        "% status: {:?}, atoms added: {}",
+        result.status, result.added
+    );
     Ok(match result.status {
         ChaseStatus::Saturated | ChaseStatus::GoalReached => ExitCode::SUCCESS,
         ChaseStatus::OutOfFuel => ExitCode::from(2),
@@ -512,7 +619,10 @@ fn repl_step(
         let pattern = parse_atom(atom_src).map_err(|e| e.to_string())?;
         let mut count = 0usize;
         for tuple in m.database().relation(pattern.pred) {
-            let g = GroundAtom { pred: pattern.pred, tuple: tuple.clone() };
+            let g = GroundAtom {
+                pred: pattern.pred,
+                tuple: tuple.clone(),
+            };
             if datalog_ast::match_atom(&pattern, &g).is_some() {
                 println!("{g}.");
                 count += 1;
@@ -540,7 +650,11 @@ fn repl_step(
         program.rules.extend(unit.program.rules);
         base.extend(unit.facts);
         *m = Materialized::new(program.clone(), base);
-        println!("% loaded ({} rules, {} atoms)", program.len(), m.database().len());
+        println!(
+            "% loaded ({} rules, {} atoms)",
+            program.len(),
+            m.database().len()
+        );
         return Ok(ReplOutcome::Continue);
     }
     match line {

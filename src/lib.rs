@@ -17,7 +17,9 @@
 //!   (§VIII), the Fig. 3 preservation test (§IX), and the §X–XI
 //!   equivalence optimizer;
 //! * [`generate`] (`datalog-generate`) — synthetic workloads with
-//!   ground-truth redundancy.
+//!   ground-truth redundancy;
+//! * [`analysis`] (`datalog-analysis`) — structural and semantic lints
+//!   with span-aware structured diagnostics (`datalog lint`).
 //!
 //! ## Quick start
 //!
@@ -41,6 +43,7 @@
 
 #![warn(rust_2018_idioms)]
 
+pub use datalog_analysis as analysis;
 pub use datalog_ast as ast;
 pub use datalog_engine as engine;
 pub use datalog_generate as generate;
@@ -49,22 +52,20 @@ pub use datalog_optimizer as optimizer;
 /// The most frequently used items, in one import.
 pub mod prelude {
     pub use datalog_ast::{
-        atom, fact, parse_atom, parse_database, parse_program, parse_rule, parse_tgd,
-        parse_tgds, parse_unit, validate, validate_positive, Atom, ColType, Const, Database,
-        DepGraph, GroundAtom, Literal, Pred, Program, Rule, Schema, SchemaSet, Subst, Term,
-        Tgd, Var,
+        atom, fact, parse_atom, parse_database, parse_program, parse_rule, parse_tgd, parse_tgds,
+        parse_unit, validate, validate_positive, Atom, ColType, Const, Database, DepGraph,
+        GroundAtom, Literal, Pred, Program, Rule, Schema, SchemaSet, Subst, Term, Tgd, Var,
     };
     pub use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, Stats};
     pub use datalog_generate::{
         bloated_tc, edge_db, random_db, random_program, random_stratified_program,
-        transitive_closure, GraphKind,
-        RandomProgramSpec, TcVariant,
+        transitive_closure, GraphKind, RandomProgramSpec, TcVariant,
     };
     pub use datalog_optimizer::{
-        analyze_equivalence, candidate_tgds, chase, cq_contained, find_separating_edb,
-        is_minimal, minimize_program, minimize_rule, minimize_stratified, models_condition,
-        optimize, optimize_under_equivalence, preliminary_db_satisfies,
-        preserves_nonrecursively, rule_contained, satisfies_tgd, slice_for_query,
-        uniformly_contains, uniformly_equivalent, ChaseStatus, EquivVerdict, Proof,
+        analyze_equivalence, candidate_tgds, chase, cq_contained, find_separating_edb, is_minimal,
+        minimize_program, minimize_rule, minimize_stratified, models_condition, optimize,
+        optimize_under_equivalence, preliminary_db_satisfies, preserves_nonrecursively,
+        rule_contained, satisfies_tgd, slice_for_query, uniformly_contains, uniformly_equivalent,
+        ChaseStatus, EquivVerdict, Proof,
     };
 }

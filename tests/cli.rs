@@ -15,10 +15,8 @@ struct TempDir {
 
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let path = std::env::temp_dir().join(format!(
-            "sagiv-datalog-cli-{tag}-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("sagiv-datalog-cli-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }
@@ -123,7 +121,10 @@ fn eval_produces_closure() {
     let dir = TempDir::new("eval");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let out = bin().args(["eval", &p, "--edb", &e, "--stats"]).output().unwrap();
+    let out = bin()
+        .args(["eval", &p, "--edb", &e, "--stats"])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
     assert!(s.contains("g(1, 4)."));
@@ -138,7 +139,10 @@ fn eval_engines_agree() {
     let e = dir.file("chain.dl", CHAIN);
     let mut outputs = Vec::new();
     for engine in ["naive", "seminaive", "stratified"] {
-        let out = bin().args(["eval", &p, "--edb", &e, "--engine", engine]).output().unwrap();
+        let out = bin()
+            .args(["eval", &p, "--edb", &e, "--engine", engine])
+            .output()
+            .unwrap();
         assert!(out.status.success(), "{engine}: {}", stderr(&out));
         outputs.push(stdout(&out));
     }
@@ -151,7 +155,10 @@ fn query_uses_magic_sets() {
     let dir = TempDir::new("query");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let out = bin().args(["query", "g(1, X)", &p, "--edb", &e]).output().unwrap();
+    let out = bin()
+        .args(["query", "g(1, X)", &p, "--edb", &e])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
     assert_eq!(s, "g(1, 2).\ng(1, 3).\ng(1, 4).\n");
@@ -162,7 +169,10 @@ fn query_with_no_answers_exits_2() {
     let dir = TempDir::new("query-empty");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let out = bin().args(["query", "g(4, X)", &p, "--edb", &e]).output().unwrap();
+    let out = bin()
+        .args(["query", "g(4, X)", &p, "--edb", &e])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -171,7 +181,10 @@ fn explain_prints_proof_tree() {
     let dir = TempDir::new("explain");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let out = bin().args(["explain", "g(1, 3)", &p, "--edb", &e]).output().unwrap();
+    let out = bin()
+        .args(["explain", "g(1, 3)", &p, "--edb", &e])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
     assert!(s.contains("g(1, 3)  [rule 1]"));
@@ -183,7 +196,10 @@ fn explain_underivable_exits_2() {
     let dir = TempDir::new("explain-miss");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let out = bin().args(["explain", "g(4, 1)", &p, "--edb", &e]).output().unwrap();
+    let out = bin()
+        .args(["explain", "g(4, 1)", &p, "--edb", &e])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("not derivable"));
 }
@@ -192,7 +208,10 @@ fn explain_underivable_exits_2() {
 fn contains_verdicts() {
     let dir = TempDir::new("contains");
     let p1 = dir.file("doubling.dl", TC);
-    let p2 = dir.file("left.dl", "g(X, Z) :- a(X, Z).\ng(X, Z) :- a(X, Y), g(Y, Z).\n");
+    let p2 = dir.file(
+        "left.dl",
+        "g(X, Z) :- a(X, Z).\ng(X, Z) :- a(X, Y), g(Y, Z).\n",
+    );
     let out = bin().args(["contains", &p1, &p2]).output().unwrap();
     // Not uniformly equivalent → exit 2.
     assert_eq!(out.status.code(), Some(2));
@@ -210,7 +229,10 @@ fn chase_with_weakly_acyclic_tgds() {
     let p = dir.file("tc.dl", TC);
     let t = dir.file("tgds.dl", "g(X, Z) -> a(X, W).\n");
     let d = dir.file("db.dl", "g(1, 2).");
-    let out = bin().args(["chase", &p, "--tgds", &t, "--db", &d]).output().unwrap();
+    let out = bin()
+        .args(["chase", &p, "--tgds", &t, "--db", &d])
+        .output()
+        .unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stderr(&out).contains("weakly acyclic"));
     assert!(stdout(&out).contains("a(1, δ0)."));
@@ -222,8 +244,10 @@ fn chase_divergent_tgds_exits_2() {
     let p = dir.file("empty.dl", "");
     let t = dir.file("tgds.dl", "g(X, Y) -> a(X, W) & g(W, Y).\n");
     let d = dir.file("db.dl", "g(1, 2).");
-    let out =
-        bin().args(["chase", &p, "--tgds", &t, "--db", &d, "--fuel", "20"]).output().unwrap();
+    let out = bin()
+        .args(["chase", &p, "--tgds", &t, "--db", &d, "--fuel", "20"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     assert!(stderr(&out).contains("not guaranteed"));
     assert!(stderr(&out).contains("OutOfFuel"));
@@ -273,10 +297,7 @@ fn run_unit_with_tgds_uses_chase() {
 #[test]
 fn run_unit_with_negation_uses_stratified() {
     let dir = TempDir::new("run-neg");
-    let u = dir.file(
-        "unit.dl",
-        "r(X) :- n(X), !b(X).\nn(1). n(2). b(2).\n",
-    );
+    let u = dir.file("unit.dl", "r(X) :- n(X), !b(X).\nn(1). n(2). b(2).\n");
     let out = bin().args(["run", &u]).output().unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
@@ -309,7 +330,12 @@ fn repl_scripted_session() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
@@ -337,7 +363,12 @@ fn repl_minimize_command() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
     let s = stdout(&out);
@@ -357,7 +388,12 @@ fn repl_rejects_invalid_rule_but_continues() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     assert!(stderr(&out).contains("head variable"), "{}", stderr(&out));
@@ -370,9 +406,14 @@ fn query_strategy_qsq_agrees_with_magic() {
     let dir = TempDir::new("query-qsq");
     let p = dir.file("tc.dl", TC);
     let e = dir.file("chain.dl", CHAIN);
-    let magic = bin().args(["query", "g(1, X)", &p, "--edb", &e]).output().unwrap();
-    let qsq =
-        bin().args(["query", "g(1, X)", &p, "--edb", &e, "--strategy", "qsq"]).output().unwrap();
+    let magic = bin()
+        .args(["query", "g(1, X)", &p, "--edb", &e])
+        .output()
+        .unwrap();
+    let qsq = bin()
+        .args(["query", "g(1, X)", &p, "--edb", &e, "--strategy", "qsq"])
+        .output()
+        .unwrap();
     assert!(qsq.status.success(), "{}", stderr(&qsq));
     assert_eq!(stdout(&magic), stdout(&qsq));
 }
@@ -382,7 +423,10 @@ fn equiv_verdicts() {
     let dir = TempDir::new("equiv");
     let doubling = dir.file("doubling.dl", TC);
     let guarded = dir.file("guarded.dl", GUARDED);
-    let renamed = dir.file("renamed.dl", "g(U, W) :- a(U, W).\ng(U, W) :- g(U, V), g(V, W).\n");
+    let renamed = dir.file(
+        "renamed.dl",
+        "g(U, W) :- a(U, W).\ng(U, W) :- g(U, V), g(V, W).\n",
+    );
     let different = dir.file("different.dl", "g(X, Z) :- a(Z, X).\n");
 
     // Uniformly equivalent (renaming).
@@ -396,7 +440,10 @@ fn equiv_verdicts() {
     assert!(stdout(&out).contains("certified"));
 
     // Refuted with a witness EDB.
-    let out = bin().args(["equiv", &doubling, &different]).output().unwrap();
+    let out = bin()
+        .args(["equiv", &doubling, &different])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(stdout(&out).contains("NOT EQUIVALENT"));
     assert!(stdout(&out).contains("witness:"));
@@ -443,7 +490,11 @@ fn shipped_sample_files_work() {
     let guarded = format!("{root}/examples/data/guarded.dl");
     let out = bin().args(["optimize", &guarded]).output().unwrap();
     assert!(out.status.success(), "{}", stderr(&out));
-    assert!(!stdout(&out).contains("a(Y, W)"), "guard removed:\n{}", stdout(&out));
+    assert!(
+        !stdout(&out).contains("a(Y, W)"),
+        "guard removed:\n{}",
+        stdout(&out)
+    );
 
     let ex19 = format!("{root}/examples/data/example19.dl");
     let out = bin().args(["optimize", &ex19]).output().unwrap();

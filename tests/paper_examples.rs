@@ -62,7 +62,15 @@ fn example_4_equivalent_but_not_uniformly() {
     let p2 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- a(X, Y), g(Y, Z).").unwrap();
 
     // Equivalence on ordinary EDBs (sampled):
-    for kind in [GraphKind::Chain { n: 6 }, GraphKind::Cycle { n: 5 }, GraphKind::ErdosRenyi { n: 8, p: 0.3, seed: 1 }] {
+    for kind in [
+        GraphKind::Chain { n: 6 },
+        GraphKind::Cycle { n: 5 },
+        GraphKind::ErdosRenyi {
+            n: 8,
+            p: 0.3,
+            seed: 1,
+        },
+    ] {
         let edb = edge_db("a", kind);
         assert_eq!(
             seminaive::evaluate(&p1, &edb),
@@ -75,8 +83,14 @@ fn example_4_equivalent_but_not_uniformly() {
     let seeded = parse_database("g(1,2). g(2,3).").unwrap();
     let out1 = naive::evaluate(&p1, &seeded);
     let out2 = naive::evaluate(&p2, &seeded);
-    assert!(out1.contains(&fact("g", [1, 3])), "P1 closes the seeded IDB");
-    assert!(!out2.contains(&fact("g", [1, 3])), "P2 leaves the seeded IDB alone");
+    assert!(
+        out1.contains(&fact("g", [1, 3])),
+        "P1 closes the seeded IDB"
+    );
+    assert!(
+        !out2.contains(&fact("g", [1, 3])),
+        "P2 leaves the seeded IDB alone"
+    );
 
     // And the formal verdicts:
     assert!(uniformly_contains(&p1, &p2).unwrap(), "P2 ⊑u P1");
@@ -118,8 +132,8 @@ fn example_6_freezing_test() {
 #[test]
 fn example_7_uniform_equivalence_with_atom_deleted() {
     // §VI: P1's five-atom rule ≡u P2's four-atom rule.
-    let p1 = parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).")
-        .unwrap();
+    let p1 =
+        parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
     let p2 = parse_program("g(X, Y, Z) :- g(X, W, Z), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
     assert!(uniformly_equivalent(&p1, &p2).unwrap());
 }
@@ -129,7 +143,10 @@ fn example_8_fig1_minimization() {
     // §VII: Fig. 1 deletes exactly A(w,y), and the result is minimal.
     let r = parse_rule("g(X, Y, Z) :- g(X, W, Z), a(W, Y), a(W, Z), a(Z, Z), a(Z, Y).").unwrap();
     let (min, deleted) = minimize_rule(&r).unwrap();
-    assert_eq!(deleted.iter().map(ToString::to_string).collect::<Vec<_>>(), vec!["a(W, Y)"]);
+    assert_eq!(
+        deleted.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        vec!["a(W, Y)"]
+    );
     assert_eq!(min.width(), 4);
     assert!(is_minimal(&Program::new(vec![min])).unwrap());
 }
@@ -143,8 +160,14 @@ fn example_9_tgd_satisfaction() {
          g(1,2). g(1,4). g(4,1). g(1,1). g(4,4). g(4,2).",
     )
     .unwrap();
-    assert!(!satisfies_tgd(&db, &parse_tgd("g(X, Y) -> a(Y, Z) & a(Z, X).").unwrap()));
-    assert!(satisfies_tgd(&db, &parse_tgd("g(X, Y) -> g(X, Z) & a(Z, Y).").unwrap()));
+    assert!(!satisfies_tgd(
+        &db,
+        &parse_tgd("g(X, Y) -> a(Y, Z) & a(Z, X).").unwrap()
+    ));
+    assert!(satisfies_tgd(
+        &db,
+        &parse_tgd("g(X, Y) -> g(X, Z) & a(Z, Y).").unwrap()
+    ));
 }
 
 #[test]
@@ -196,8 +219,7 @@ fn examples_13_to_16_preservation() {
     assert_eq!(preserves_nonrecursively(&r13, &t13, FUEL), Proof::Proved);
 
     // Example 14: both rules of P1 preserve the same tgd.
-    let p14 =
-        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
+    let p14 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
     assert_eq!(preserves_nonrecursively(&p14, &t13, FUEL), Proof::Proved);
 
     // Example 15: two-atom lhs, four combinations, all pass.
@@ -227,8 +249,7 @@ fn example_17_preliminary_db() {
 #[test]
 fn example_18_equivalence_optimization() {
     // §X: the full pipeline concludes P1 ≡ P2 and removes a(Y,W).
-    let p1 =
-        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
+    let p1 = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
     let (optimized, applied) = optimize_under_equivalence(&p1, 10_000).unwrap();
     assert_eq!(applied.len(), 1);
     assert_eq!(applied[0].removed_atoms[0].to_string(), "a(Y, W)");
@@ -236,7 +257,14 @@ fn example_18_equivalence_optimization() {
 
     // The optimized program really is equivalent on concrete inputs (and
     // evaluates with strictly fewer matches).
-    let edb = edge_db("a", GraphKind::ErdosRenyi { n: 12, p: 0.2, seed: 3 });
+    let edb = edge_db(
+        "a",
+        GraphKind::ErdosRenyi {
+            n: 12,
+            p: 0.2,
+            seed: 3,
+        },
+    );
     let (out_orig, stats_orig) = seminaive::evaluate_with_stats(&p1, &edb);
     let (out_opt, stats_opt) = seminaive::evaluate_with_stats(&optimized, &edb);
     assert_eq!(out_orig, out_opt);
@@ -253,7 +281,11 @@ fn example_19_guarded_program_optimization() {
     .unwrap();
     let (optimized, applied) = optimize_under_equivalence(&p1, 10_000).unwrap();
     assert_eq!(applied.len(), 1);
-    let removed: Vec<String> = applied[0].removed_atoms.iter().map(ToString::to_string).collect();
+    let removed: Vec<String> = applied[0]
+        .removed_atoms
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     assert_eq!(removed, vec!["g(Y, W)", "c(W)"]);
 
     // Equivalence on concrete EDBs (c marks even nodes of a chain).
@@ -263,7 +295,10 @@ fn example_19_guarded_program_optimization() {
             edb.insert(fact("c", [i]));
         }
     }
-    assert_eq!(seminaive::evaluate(&p1, &edb), seminaive::evaluate(&optimized, &edb));
+    assert_eq!(
+        seminaive::evaluate(&p1, &edb),
+        seminaive::evaluate(&optimized, &edb)
+    );
 }
 
 // ---------- Edge cases around the §VI/§VII machinery ----------

@@ -20,7 +20,11 @@ fn bloat_minimize_optimize_evaluate() {
             GraphKind::Chain { n: 12 },
             GraphKind::Cycle { n: 8 },
             GraphKind::BinaryTree { depth: 3 },
-            GraphKind::ErdosRenyi { n: 10, p: 0.25, seed },
+            GraphKind::ErdosRenyi {
+                n: 10,
+                p: 0.25,
+                seed,
+            },
         ] {
             let edb = edge_db("a", kind);
             let reference = seminaive::evaluate(&bloated, &edb);
@@ -97,7 +101,14 @@ fn incremental_on_optimized_program() {
 fn scc_engine_agrees_on_optimized_programs() {
     let bloated = bloated_tc(4, 1234);
     let (minimized, _) = minimize_program(&bloated).unwrap();
-    let edb = edge_db("a", GraphKind::ErdosRenyi { n: 12, p: 0.2, seed: 5 });
+    let edb = edge_db(
+        "a",
+        GraphKind::ErdosRenyi {
+            n: 12,
+            p: 0.2,
+            seed: 5,
+        },
+    );
     assert_eq!(
         scc_eval::evaluate(&minimized, &edb),
         seminaive::evaluate(&minimized, &edb)
@@ -115,8 +126,18 @@ fn probe_counts_improve_monotonically() {
     let (_, sb) = seminaive::evaluate_with_stats(&bloated, &edb);
     let (_, sm) = seminaive::evaluate_with_stats(&minimized, &edb);
     let (_, so) = seminaive::evaluate_with_stats(&optimized, &edb);
-    assert!(sm.probes <= sb.probes, "minimized {} vs bloated {}", sm.probes, sb.probes);
-    assert!(so.probes <= sm.probes, "optimized {} vs minimized {}", so.probes, sm.probes);
+    assert!(
+        sm.probes <= sb.probes,
+        "minimized {} vs bloated {}",
+        sm.probes,
+        sb.probes
+    );
+    assert!(
+        so.probes <= sm.probes,
+        "optimized {} vs minimized {}",
+        so.probes,
+        sm.probes
+    );
     assert!(
         so.probes < sb.probes,
         "pipeline should strictly reduce probes: {} vs {}",
@@ -141,12 +162,14 @@ fn triple_composition_on_genealogy() {
     let sliced = slice_for_query(&program, Pred::new("anc"));
     assert_eq!(sliced.len(), 3);
     let (optimized, _, _) = optimize(&sliced, 10_000).unwrap();
-    assert_eq!(optimized.total_width(), 3, "guard and junk gone: {optimized}");
+    assert_eq!(
+        optimized.total_width(),
+        3,
+        "guard and junk gone: {optimized}"
+    );
 
-    let edb = parse_database(
-        "parent(1, 2). parent(2, 3). parent(3, 4). parent(1, 5). noise(9).",
-    )
-    .unwrap();
+    let edb = parse_database("parent(1, 2). parent(2, 3). parent(3, 4). parent(1, 5). noise(9).")
+        .unwrap();
     let query = parse_atom("anc(1, X)").unwrap();
     let expected = magic::answer(&program, &edb, &query);
     let got = magic::answer(&optimized, &edb, &query);
@@ -182,10 +205,8 @@ fn chase_fuel_boundary() {
 #[test]
 fn termination_analysis_lifts_fuel() {
     use sagiv_datalog::optimizer::analyze_termination;
-    let guarded = parse_program(
-        "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).",
-    )
-    .unwrap();
+    let guarded =
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z), a(Y, W).").unwrap();
     let tgds = parse_tgds("g(X, Z) -> a(X, W).").unwrap();
     assert!(analyze_termination(&tgds).is_guaranteed());
     // Fuel 1 would normally starve the chase; the weak-acyclicity analysis

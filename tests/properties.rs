@@ -196,8 +196,12 @@ fn minimization_order_invariance_sample() {
          g(X, Z) :- a(X, Y), a(Y, Z).",
     )
     .unwrap();
-    let orders: Vec<Vec<usize>> =
-        vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2], vec![2, 0, 3, 1]];
+    let orders: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2, 3],
+        vec![3, 2, 1, 0],
+        vec![1, 3, 0, 2],
+        vec![2, 0, 3, 1],
+    ];
     let mut results = Vec::new();
     for order in orders {
         let atom_orders: Vec<Vec<usize>> =

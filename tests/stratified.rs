@@ -48,7 +48,10 @@ fn stratified_minimization_on_game_with_redundancy() {
     )
     .unwrap();
     let (min, removal) = minimize_stratified(&bloated).unwrap();
-    assert!(removal.len() >= 2, "widened rule + duplicate atom: {removal:?}");
+    assert!(
+        removal.len() >= 2,
+        "widened rule + duplicate atom: {removal:?}"
+    );
 
     let edb = parse_database(
         "start(1). position(1). position(2). position(3).

@@ -1,0 +1,109 @@
+//! Experiment E15 — serving throughput of the materialized-view daemon.
+//!
+//! Two programs over the same chain EDB: the bloated transitive closure
+//! as written, and the same program after §VII minimize-on-install. Both
+//! serve answers from identical fixpoints; the minimized one paid less to
+//! build them and pays less on every incremental batch. The thread sweep
+//! measures snapshot-isolated reads: a query clones an `Arc` under a
+//! briefly-held read lock, so throughput should scale with client threads
+//! instead of serializing behind a global engine lock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog_bench::{portable_source, standard_edb};
+use datalog_generate::bloated_tc;
+use datalog_service::{Client, Server, ServerConfig};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const CHAIN_N: usize = 48;
+
+/// Start an in-process daemon serving `bloated` (installed verbatim) and
+/// `minimized` (same text through §VII) over the same chain EDB.
+fn start_daemon() -> String {
+    let config = ServerConfig {
+        threads: 8,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || server.run());
+
+    let rules = portable_source(&bloated_tc(6, 99));
+    let facts = standard_edb("chain", CHAIN_N)
+        .iter()
+        .map(|f| format!("{f}."))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut client = Client::connect(&addr).expect("connect");
+    for (name, optimize) in [("bloated", false), ("minimized", true)] {
+        let request = datalog_json::Value::object([
+            ("op", datalog_json::Value::from("install")),
+            ("program", datalog_json::Value::from(name)),
+            ("rules", datalog_json::Value::from(rules.clone())),
+            ("optimize", datalog_json::Value::from(optimize)),
+            ("lint", datalog_json::Value::from(false)),
+        ]);
+        let response = client.request(&request).expect("install");
+        assert_eq!(
+            response.get("ok").and_then(datalog_json::Value::as_bool),
+            Some(true),
+            "{response}"
+        );
+        let insert = format!("{{\"op\":\"insert\",\"program\":\"{name}\",\"facts\":\"{facts}\"}}");
+        client.request_line(&insert).expect("insert");
+    }
+    addr
+}
+
+fn query(client: &mut Client, program: &str) {
+    let line = format!("{{\"op\":\"query\",\"program\":\"{program}\",\"atom\":\"g(X, Y)\"}}");
+    let response = client.request_line(&line).expect("query");
+    assert!(response.contains("\"ok\":true"), "{response}");
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let addr = start_daemon();
+    let mut group = c.benchmark_group("service/query_latency");
+    group.sample_size(12);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for program in ["bloated", "minimized"] {
+        let mut client = Client::connect(&addr).expect("connect");
+        group.bench_function(program, |b| b.iter(|| query(&mut client, program)));
+    }
+    group.finish();
+}
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    let addr = start_daemon();
+    let mut group = c.benchmark_group("service/throughput_minimized");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    // Fixed work per iteration (64 queries) split across T persistent
+    // connections; scaling shows reads don't serialize.
+    const QUERIES: usize = 64;
+    for threads in [1usize, 2, 4] {
+        let clients: Vec<Mutex<Client>> = (0..threads)
+            .map(|_| Mutex::new(Client::connect(&addr).expect("connect")))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in &clients {
+                        scope.spawn(move || {
+                            let mut client = client.lock().unwrap();
+                            for _ in 0..QUERIES / t {
+                                query(&mut client, "minimized");
+                            }
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency, bench_concurrent_throughput);
+criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Regenerate every experiment of EXPERIMENTS.md (E1–E14) and print
+//! Regenerate every experiment of EXPERIMENTS.md (E1–E15) and print
 //! paper-claim vs. measured rows. Also writes `experiments.json` with the
 //! raw series so the tables can be rebuilt mechanically.
 //!
 //! Run with: `cargo run -p datalog-bench --bin experiments --release`
 
 use datalog_ast::{fact, parse_atom, parse_database, parse_program, parse_tgds, Program};
-use datalog_bench::{guarded_tc, standard_edb, wide_rule, Row};
+use datalog_bench::{guarded_tc, portable_source, standard_edb, wide_rule, Row};
 use datalog_engine::{magic, naive, seminaive, stratified};
 use datalog_generate::{bloated_tc, transitive_closure, TcVariant};
 use datalog_optimizer::{
@@ -353,6 +353,93 @@ fn main() {
             "stratified minimization removed the duplicate and preserved semantics",
             removal.atoms.len() == 1 && same,
         );
+    }
+
+    println!("== E15: materialized-view service throughput ==");
+    {
+        use datalog_service::{Client, Server, ServerConfig};
+
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("local addr").to_string();
+        std::thread::spawn(move || server.run());
+
+        let rules = portable_source(&bloated_tc(6, 99));
+        let facts = standard_edb("chain", 48)
+            .iter()
+            .map(|f| format!("{f}."))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut admin = Client::connect(&addr).expect("connect");
+        for (name, optimize) in [("bloated", false), ("minimized", true)] {
+            let install = datalog_json::Value::object([
+                ("op", datalog_json::Value::from("install")),
+                ("program", datalog_json::Value::from(name)),
+                ("rules", datalog_json::Value::from(rules.clone())),
+                ("optimize", datalog_json::Value::from(optimize)),
+                ("lint", datalog_json::Value::from(false)),
+            ]);
+            let resp = admin.request(&install).expect("install");
+            assert_eq!(
+                resp.get("ok").and_then(datalog_json::Value::as_bool),
+                Some(true),
+                "{resp}"
+            );
+            admin
+                .request_line(&format!(
+                    "{{\"op\":\"insert\",\"program\":\"{name}\",\"facts\":\"{facts}\"}}"
+                ))
+                .expect("insert");
+        }
+
+        // Both views must serve the same fixpoint (uniform equivalence end
+        // to end): identical nonzero answer counts for the full closure.
+        let count = |admin: &mut Client, name: &str| -> u64 {
+            let resp = admin
+                .request_line(&format!(
+                    "{{\"op\":\"query\",\"program\":\"{name}\",\"atom\":\"g(X, Y)\"}}"
+                ))
+                .expect("query");
+            let v = datalog_json::Value::parse(&resp).expect("parse");
+            v.get("count")
+                .and_then(datalog_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        let cb = count(&mut admin, "bloated");
+        let cm = count(&mut admin, "minimized");
+        r.check(
+            "E15",
+            "bloated and minimized views serve identical nonzero closures",
+            cb == cm && cb > 0,
+        );
+
+        const QUERIES: usize = 200;
+        for name in ["bloated", "minimized"] {
+            for threads in [1usize, 4] {
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| {
+                            let mut c = Client::connect(&addr).expect("connect");
+                            for _ in 0..QUERIES / threads {
+                                c.request_line(&format!(
+                                    "{{\"op\":\"query\",\"program\":\"{name}\",\"atom\":\"g(X, Y)\"}}"
+                                ))
+                                .expect("query");
+                            }
+                        });
+                    }
+                });
+                let qps = QUERIES as f64 / start.elapsed().as_secs_f64();
+                r.row(Row::new(
+                    "E15",
+                    "chain48-service",
+                    name,
+                    threads as u64,
+                    qps,
+                    "qps",
+                ));
+            }
+        }
     }
 
     // Persist raw rows.

@@ -103,6 +103,28 @@ pub fn wide_rule(width: usize) -> Program {
     parse_program(&format!("g(X, Y, Z) :- {body}.")).expect("generated program parses")
 }
 
+/// Render a generated program in parseable surface syntax.
+///
+/// `bloated_tc` names its fresh variables like `w$123…`; the surface
+/// grammar has no `$`, and a lowercase initial means a *constant*, so a
+/// naive strip would silently turn those variables into never-matching
+/// constants. Uppercasing the prefix keeps them variables.
+pub fn portable_source(program: &Program) -> String {
+    let src = program.to_string();
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'$') {
+            chars.next();
+            out.extend(c.to_uppercase());
+            out.push('_');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Standard EDB families used across experiments.
 pub fn standard_edb(kind: &str, n: usize) -> Database {
     match kind {
@@ -164,6 +186,26 @@ mod tests {
         assert_eq!(standard_edb("chain", 10).len(), 10);
         assert_eq!(standard_edb("cycle", 10).len(), 10);
         assert!(!standard_edb("er", 20).is_empty());
+    }
+
+    #[test]
+    fn portable_source_round_trips_with_fresh_vars_as_vars() {
+        for seed in [7u64, 99, 1234] {
+            let bloated = datalog_generate::bloated_tc(4, seed);
+            let src = portable_source(&bloated);
+            let parsed = datalog_ast::parse_program(&src).expect("portable source parses");
+            assert_eq!(parsed.len(), bloated.len());
+            // Same variable structure: widths match rule for rule, which
+            // fails if a fresh variable degraded into a constant.
+            for (a, b) in parsed.rules.iter().zip(&bloated.rules) {
+                assert_eq!(a.head.terms.len(), b.head.terms.len());
+                assert_eq!(
+                    a.body.iter().flat_map(|l| l.atom.vars()).count(),
+                    b.body.iter().flat_map(|l| l.atom.vars()).count(),
+                    "a fresh variable was parsed as a constant in: {src}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
 use crate::stats::Stats;
 use datalog_ast::{Database, GroundAtom, Program};
+use std::sync::Arc;
 
 /// A materialised fixpoint that can absorb insertions and deletions
 /// incrementally.
@@ -42,6 +43,10 @@ pub struct Materialized {
     base: Database,
     /// The saturated database (base ∪ derived).
     db: Database,
+    /// Cached shareable copy of `db`, invalidated by every mutation, so
+    /// repeated [`Materialized::snapshot`] calls between write batches are
+    /// free (one clone per batch, not per reader).
+    snapshot: Option<Arc<Database>>,
 }
 
 impl Materialized {
@@ -57,12 +62,26 @@ impl Materialized {
             program,
             base: input.clone(),
             db,
+            snapshot: None,
         }
     }
 
     /// The current fixpoint.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// A shareable, immutable snapshot of the current fixpoint.
+    ///
+    /// The returned [`Arc`] stays valid (and unchanged) across later
+    /// [`Materialized::insert`]/[`Materialized::remove`] calls — readers can
+    /// keep querying it while a writer mutates the materialisation. The
+    /// snapshot is cached internally, so calling this repeatedly between
+    /// write batches clones the database at most once per batch.
+    pub fn snapshot(&mut self) -> Arc<Database> {
+        self.snapshot
+            .get_or_insert_with(|| Arc::new(self.db.clone()))
+            .clone()
     }
 
     /// The asserted base facts.
@@ -91,6 +110,7 @@ impl Materialized {
         let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
         let mut stats = Stats::default();
         let mut added: u64 = 0;
+        self.snapshot = None;
 
         // Seed delta with the genuinely new facts.
         let mut delta = Database::new();
@@ -159,6 +179,7 @@ impl Materialized {
     ) -> (u64, Stats) {
         let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
         let mut stats = Stats::default();
+        self.snapshot = None;
 
         // Phase 1 — overdelete. `overdeleted` accumulates every atom with
         // some derivation (over the OLD fixpoint) passing through a deleted
@@ -367,6 +388,26 @@ mod tests {
             inc_stats.matches,
             full_stats.matches
         );
+    }
+
+    #[test]
+    fn snapshots_are_immutable_and_cached() {
+        let edb = parse_database("a(1,2).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        let s1 = m.snapshot();
+        let s1_again = m.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s1_again), "cached between batches");
+
+        m.insert([fact("a", [2, 3])]);
+        // The old snapshot is frozen; a new one sees the update.
+        assert!(!s1.contains(&fact("g", [1, 3])));
+        let s2 = m.snapshot();
+        assert!(s2.contains(&fact("g", [1, 3])));
+        assert!(!Arc::ptr_eq(&s1, &s2));
+
+        m.remove([fact("a", [1, 2])]);
+        assert!(s2.contains(&fact("g", [1, 2])), "frozen across removes too");
+        assert!(!m.snapshot().contains(&fact("g", [1, 2])));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! A minimal blocking client for the wire protocol, shared by the
+//! `datalog client` CLI subcommand, the end-to-end tests, and the service
+//! benchmarks.
+
+use datalog_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection speaking line-delimited JSON.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A response should arrive promptly; a dead server must not hang
+        // the client forever.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send a request [`Value`], parse the response back into a [`Value`].
+    pub fn request(&mut self, request: &Value) -> std::io::Result<Value> {
+        let line = self.request_line(&request.to_compact())?;
+        Value::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response: {e}"),
+            )
+        })
+    }
+}

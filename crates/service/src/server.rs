@@ -1,0 +1,235 @@
+//! The TCP transport: a listener, a fixed-size worker pool, and per-
+//! connection framing with the robustness guarantees the protocol promises —
+//! malformed requests, oversized payloads, stalls, and mid-request
+//! disconnects each produce a structured error (or a clean close) on *that*
+//! connection only; the daemon itself never crashes or wedges.
+
+use crate::pool::ThreadPool;
+use crate::protocol::{
+    error_response, ErrorCode, ServiceError, DEFAULT_MAX_REQUEST_BYTES, DEFAULT_READ_TIMEOUT_MS,
+};
+use crate::registry::{Control, Registry};
+use datalog_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time.
+    pub threads: usize,
+    /// Hard cap on a single request line, in bytes.
+    pub max_request_bytes: usize,
+    /// Close connections that send nothing for this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 4,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            read_timeout: Duration::from_millis(DEFAULT_READ_TIMEOUT_MS),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// How often blocked reads wake up to check the shutdown flag; also the
+/// granularity of the idle-timeout accounting.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            registry: Arc::new(Registry::new()),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared registry, e.g. for pre-installing programs in-process.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A flag that makes [`Server::run`] return when set (a `shutdown`
+    /// request sets it too). Useful for embedding the server in tests.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accept and serve until a `shutdown` request arrives (or the shutdown
+    /// flag is set externally), then drain in-flight connections and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            registry,
+            config,
+            shutdown,
+        } = self;
+        let local_addr = listener.local_addr()?;
+        let pool = ThreadPool::new(config.threads);
+        loop {
+            let (stream, _) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) if shutdown.load(Ordering::SeqCst) => break,
+                // Transient accept errors (EMFILE, aborted handshakes) must
+                // not kill the daemon; back off briefly and keep serving.
+                Err(_) => {
+                    std::thread::sleep(POLL_INTERVAL);
+                    continue;
+                }
+            };
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let registry = Arc::clone(&registry);
+            let config = config.clone();
+            let shutdown = Arc::clone(&shutdown);
+            pool.execute(move || {
+                serve_connection(stream, &registry, &config, &shutdown, local_addr);
+            });
+        }
+        // Dropping the pool joins the workers: every accepted connection
+        // finishes (their read loops observe the shutdown flag promptly).
+        drop(pool);
+        Ok(())
+    }
+}
+
+/// Serve one connection: read `\n`-delimited requests, answer each on its
+/// own line. Returns (closing the connection) on disconnect, idle timeout,
+/// oversized payload, or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    local_addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut idle = Duration::ZERO;
+    // Allow several pipelined requests to sit in the buffer, but bound it:
+    // a single line can never exceed `max_request_bytes`, so a buffer past
+    // the cap plus one chunk with no newline is already oversized.
+    let buffer_cap = config.max_request_bytes + chunk.len();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed (possibly mid-request): drop quietly
+            Ok(n) => {
+                idle = Duration::ZERO;
+                buffer.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buffer.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..pos]);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if line.len() > config.max_request_bytes {
+                        let err = oversize_error(config.max_request_bytes);
+                        let _ = write_response(&mut stream, &error_response(None, &err));
+                        return;
+                    }
+                    match respond(registry, line) {
+                        (response, Control::Continue) => {
+                            if write_response(&mut stream, &response).is_err() {
+                                return; // peer vanished mid-response
+                            }
+                        }
+                        (response, Control::Shutdown) => {
+                            let _ = write_response(&mut stream, &response);
+                            shutdown.store(true, Ordering::SeqCst);
+                            // Unblock the acceptor so run() can notice.
+                            let _ = TcpStream::connect(local_addr);
+                            return;
+                        }
+                    }
+                }
+                if buffer.len() > buffer_cap {
+                    let err = oversize_error(config.max_request_bytes);
+                    let _ = write_response(&mut stream, &error_response(None, &err));
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                idle += POLL_INTERVAL;
+                if idle >= config.read_timeout {
+                    let err = ServiceError::new(
+                        ErrorCode::ReadTimeout,
+                        format!(
+                            "no complete request within {} ms; closing connection",
+                            config.read_timeout.as_millis()
+                        ),
+                    );
+                    let _ = write_response(&mut stream, &error_response(None, &err));
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return, // hard I/O error: this connection only
+        }
+    }
+}
+
+/// Dispatch one request line, converting handler panics into a structured
+/// `internal` error so one poisoned request cannot take the worker down.
+fn respond(registry: &Registry, line: &str) -> (Value, Control) {
+    let request = match Value::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            let err = ServiceError::new(ErrorCode::BadJson, e.to_string());
+            return (error_response(None, &err), Control::Continue);
+        }
+    };
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| registry.handle(&request)));
+    match outcome {
+        Ok(handled) => handled,
+        Err(_) => {
+            let err = ServiceError::new(ErrorCode::Internal, "request handler panicked");
+            (error_response(request.get("id"), &err), Control::Continue)
+        }
+    }
+}
+
+fn oversize_error(limit: usize) -> ServiceError {
+    ServiceError::new(
+        ErrorCode::PayloadTooLarge,
+        format!("request exceeds the {limit}-byte limit"),
+    )
+}
+
+fn write_response(stream: &mut TcpStream, response: &Value) -> std::io::Result<()> {
+    let mut line = response.to_compact();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}

@@ -1,0 +1,143 @@
+//! A materialized view with snapshot-isolated reads.
+//!
+//! The writer side is an [`engine::incremental::Materialized`] behind a
+//! mutex: insert/remove batches run semi-naive delta propagation and DRed
+//! delete-and-rederive. After every batch the writer publishes the new
+//! fixpoint as an [`Arc<Database>`]; readers clone that `Arc` out of a
+//! briefly-held lock and then query entirely lock-free. A query therefore
+//! never blocks behind an in-flight write batch (only behind the
+//! nanosecond-scale pointer swap), and always sees a consistent fixpoint —
+//! either the pre-batch or the post-batch one, never a half-applied state.
+//!
+//! [`engine::incremental::Materialized`]: datalog_engine::Materialized
+
+use datalog_engine::{Materialized, Stats};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use datalog_ast::{Database, GroundAtom, Program};
+
+/// A concurrently readable materialisation of one installed program.
+pub struct View {
+    /// The mutable materialisation; serialised writers only.
+    writer: Mutex<Materialized>,
+    /// The published fixpoint; swapped after every write batch.
+    published: RwLock<Arc<Database>>,
+}
+
+/// Recover the guard even if a previous holder panicked: every mutation
+/// below leaves the structures consistent at the point of any panic that
+/// could propagate (the engine mutates a private database and publishes
+/// only on success), so poisoning is not load-bearing — one failing
+/// connection must not wedge the view for everyone else.
+fn lock_writer(view: &View) -> MutexGuard<'_, Materialized> {
+    view.writer.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl View {
+    /// Saturate `input` under `program` and publish the first snapshot.
+    pub fn new(program: Program, input: &Database) -> View {
+        let mut writer = Materialized::new(program, input);
+        let published = RwLock::new(writer.snapshot());
+        View {
+            writer: Mutex::new(writer),
+            published,
+        }
+    }
+
+    /// The most recently published fixpoint. Cheap (one `Arc` clone under a
+    /// read lock held for the duration of the clone only).
+    pub fn snapshot(&self) -> Arc<Database> {
+        self.published
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Insert a batch of base facts, propagate consequences, publish the new
+    /// fixpoint. Returns the number of atoms added and the evaluation work.
+    pub fn insert(&self, facts: Vec<GroundAtom>) -> (u64, Stats) {
+        let mut writer = lock_writer(self);
+        let (added, stats) = writer.insert_with_stats(facts);
+        self.publish(&mut writer);
+        (added, stats)
+    }
+
+    /// Remove a batch of base facts (DRed), publish the new fixpoint.
+    /// Returns the number of atoms removed and the evaluation work.
+    pub fn remove(&self, facts: Vec<GroundAtom>) -> (u64, Stats) {
+        let mut writer = lock_writer(self);
+        let (removed, stats) = writer.remove_with_stats(facts);
+        self.publish(&mut writer);
+        (removed, stats)
+    }
+
+    /// The currently asserted base facts (cloned under the writer lock).
+    pub fn base(&self) -> Database {
+        lock_writer(self).base().clone()
+    }
+
+    fn publish(&self, writer: &mut MutexGuard<'_, Materialized>) {
+        let snapshot = writer.snapshot();
+        *self.published.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{fact, parse_database, parse_program};
+
+    fn tc() -> Program {
+        parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap()
+    }
+
+    #[test]
+    fn snapshots_survive_later_writes() {
+        let view = View::new(tc(), &parse_database("a(1, 2).").unwrap());
+        let before = view.snapshot();
+        view.insert(vec![fact("a", [2, 3])]);
+        assert!(!before.contains(&fact("g", [1, 3])));
+        assert!(view.snapshot().contains(&fact("g", [1, 3])));
+        view.remove(vec![fact("a", [1, 2])]);
+        assert!(!view.snapshot().contains(&fact("g", [1, 2])));
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_fixpoints() {
+        // A reader must only ever observe a database that is a full
+        // fixpoint of some prefix of the write stream: here every prefix
+        // closure of a growing chain contains g(0, k) for all k up to the
+        // chain length, and nothing else.
+        let view = Arc::new(View::new(tc(), &Database::new()));
+        let writer = {
+            let view = Arc::clone(&view);
+            std::thread::spawn(move || {
+                for i in 0..24i64 {
+                    view.insert(vec![fact("a", [i, i + 1])]);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let view = Arc::clone(&view);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let snap = view.snapshot();
+                        let n = snap.relation_len(datalog_ast::Pred::new("a"));
+                        // Chain of n edges ⇒ exactly n·(n+1)/2 closure pairs.
+                        assert_eq!(
+                            snap.relation_len(datalog_ast::Pred::new("g")),
+                            n * (n + 1) / 2,
+                            "snapshot must be a complete fixpoint"
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(view.snapshot().contains(&fact("g", [0, 24])));
+    }
+}

@@ -16,6 +16,9 @@
 //! datalog contains <p1.dl> <p2.dl>                    uniform containment, both ways
 //! datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N] equivalence analysis (§X–§XI)
 //! datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
+//! datalog serve    [--addr H:P] [--threads N]          materialized-view daemon (JSON protocol)
+//!                  [--max-bytes N] [--timeout-ms N]
+//! datalog client   <addr> [request-json]...            send protocol requests (stdin if none)
 //! ```
 //!
 //! Exit codes: 0 success, 1 user error (bad args, parse/validation
@@ -57,6 +60,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "contains" => cmd_contains(rest),
         "equiv" => cmd_equiv(rest),
         "chase" => cmd_chase(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -82,7 +87,9 @@ usage:
   datalog explain  '<atom>' <program.dl> --edb <facts.dl>
   datalog contains <p1.dl> <p2.dl>
   datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N]
-  datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]"
+  datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
+  datalog serve    [--addr HOST:PORT] [--threads N] [--max-bytes N] [--timeout-ms N]
+  datalog client   <addr> [request-json]...   (reads stdin when no requests given)"
     );
 }
 
@@ -538,6 +545,91 @@ fn cmd_chase(args: &[String]) -> Result<ExitCode, String> {
     Ok(match result.status {
         ChaseStatus::Saturated | ChaseStatus::GoalReached => ExitCode::SUCCESS,
         ChaseStatus::OutOfFuel => ExitCode::from(2),
+    })
+}
+
+/// Run the materialized-view daemon (see `docs/SERVICE.md` for the wire
+/// protocol). Prints `listening on HOST:PORT` on stdout once ready — with
+/// `--addr 127.0.0.1:0` that line is how callers learn the ephemeral port.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use sagiv_datalog::service::{Server, ServerConfig};
+    use std::io::Write as _;
+
+    let (pos, flags) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(
+            "usage: datalog serve [--addr HOST:PORT] [--threads N] [--max-bytes N] [--timeout-ms N]"
+                .into(),
+        );
+    }
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:4713");
+    let mut config = ServerConfig::default();
+    if let Some(v) = flags.get("threads") {
+        config.threads = v
+            .parse()
+            .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+    }
+    if let Some(v) = flags.get("max-bytes") {
+        config.max_request_bytes = v
+            .parse()
+            .map_err(|_| format!("--max-bytes: `{v}` is not a number"))?;
+    }
+    if let Some(v) = flags.get("timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|_| format!("--timeout-ms: `{v}` is not a number"))?;
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("% shutdown complete");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Send protocol requests to a running daemon, one JSON object per line
+/// (from the command line, or from stdin when none are given). Responses
+/// print to stdout; exit code 2 if any response carried `"ok": false`.
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    use sagiv_datalog::service::Client;
+    use std::io::BufRead as _;
+
+    let (pos, _) = split_flags(args)?;
+    let Some((addr, requests)) = pos.split_first() else {
+        return Err("usage: datalog client <addr> [request-json]...".into());
+    };
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut any_failed = false;
+    let mut send = |client: &mut Client, line: &str| -> Result<(), String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let response = client.request_line(line).map_err(|e| e.to_string())?;
+        println!("{response}");
+        if let Ok(v) = datalog_json::Value::parse(&response) {
+            if v.get("ok").and_then(datalog_json::Value::as_bool) == Some(false) {
+                any_failed = true;
+            }
+        }
+        Ok(())
+    };
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            send(&mut client, &line)?;
+        }
+    } else {
+        for request in requests {
+            send(&mut client, request)?;
+        }
+    }
+    Ok(if any_failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 

@@ -19,7 +19,10 @@
 //! * [`generate`] (`datalog-generate`) — synthetic workloads with
 //!   ground-truth redundancy;
 //! * [`analysis`] (`datalog-analysis`) — structural and semantic lints
-//!   with span-aware structured diagnostics (`datalog lint`).
+//!   with span-aware structured diagnostics (`datalog lint`);
+//! * [`service`] (`datalog-service`) — the concurrent materialized-view
+//!   server behind `datalog serve`: optimize-on-install program registry,
+//!   snapshot-isolated reads, line-delimited JSON wire protocol.
 //!
 //! ## Quick start
 //!
@@ -48,6 +51,7 @@ pub use datalog_ast as ast;
 pub use datalog_engine as engine;
 pub use datalog_generate as generate;
 pub use datalog_optimizer as optimizer;
+pub use datalog_service as service;
 
 /// The most frequently used items, in one import.
 pub mod prelude {

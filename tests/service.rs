@@ -1,0 +1,370 @@
+//! End-to-end tests of `datalog serve`: the real binary on an ephemeral
+//! port, driven by real TCP clients — concurrent readers racing a writer,
+//! optimize-on-install reporting, stats, robustness against malformed and
+//! hostile input, and clean shutdown.
+
+use sagiv_datalog::prelude::*;
+use sagiv_datalog::service::Client;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A program straight out of the paper's Fig. 1/2 setting: a duplicated
+/// body atom and a rule subsumed by the doubling recursion. §VII
+/// minimization removes one atom and one whole rule.
+const REDUNDANT_TC: &str = "g(X, Z) :- a(X, Z), a(X, Z). \
+     g(X, Z) :- g(X, Y), g(Y, Z). \
+     g(X, Z) :- a(X, Y), a(Y, Z).";
+
+fn spawn_daemon(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn datalog serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Wait for the daemon to exit cleanly, killing it if it wedges.
+fn expect_clean_exit(mut child: Child) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("daemon did not shut down within 10s");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn request(client: &mut Client, line: &str) -> datalog_json::Value {
+    let response = client.request_line(line).expect("request");
+    datalog_json::Value::parse(&response).expect("response parses")
+}
+
+fn assert_ok(v: &datalog_json::Value) {
+    assert_eq!(
+        v.get("ok").and_then(datalog_json::Value::as_bool),
+        Some(true),
+        "{v}"
+    );
+}
+
+/// Parse answers like `"g(1, 2)"` into integer pairs.
+fn pairs(v: &datalog_json::Value) -> Vec<(i64, i64)> {
+    v.get("answers")
+        .and_then(datalog_json::Value::as_array)
+        .expect("answers array")
+        .iter()
+        .map(|a| {
+            let s = a.as_str().expect("answer string");
+            let inner = &s[s.find('(').unwrap() + 1..s.rfind(')').unwrap()];
+            let mut it = inner.split(',').map(|t| t.trim().parse::<i64>().unwrap());
+            (it.next().unwrap(), it.next().unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_with_writer_and_minimizing_install() {
+    let (child, addr) = spawn_daemon(&["--threads", "8"]);
+    let mut admin = Client::connect(&addr).expect("connect");
+
+    // Install: the report must show a strictly smaller program after §VII.
+    let resp = request(
+        &mut admin,
+        &format!("{{\"op\":\"install\",\"program\":\"tc\",\"rules\":\"{REDUNDANT_TC}\"}}"),
+    );
+    assert_ok(&resp);
+    let rules_before = resp.get("rules_before").unwrap().as_u64().unwrap();
+    let rules_after = resp.get("rules_after").unwrap().as_u64().unwrap();
+    let atoms_before = resp.get("body_atoms_before").unwrap().as_u64().unwrap();
+    let atoms_after = resp.get("body_atoms_after").unwrap().as_u64().unwrap();
+    assert!(rules_after < rules_before, "{resp}");
+    assert!(atoms_after < atoms_before, "{resp}");
+    assert!(resp.get("atoms_removed").unwrap().as_u64().unwrap() >= 1);
+    assert!(resp.get("rules_removed").unwrap().as_u64().unwrap() >= 1);
+
+    // Seed a chain, then race one writer against five readers.
+    assert_ok(&request(
+        &mut admin,
+        "{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a(0,1). a(1,2). a(2,3). a(3,4).\"}",
+    ));
+
+    let writer_addr = addr.clone();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(&writer_addr).expect("writer connect");
+        // Deterministic batch stream; `final_base` below replays it.
+        for i in 4..20i64 {
+            let resp = request(
+                &mut c,
+                &format!(
+                    "{{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a({i},{}).\"}}",
+                    i + 1
+                ),
+            );
+            assert_ok(&resp);
+            if i % 3 == 0 {
+                let resp = request(
+                    &mut c,
+                    &format!(
+                        "{{\"op\":\"remove\",\"program\":\"tc\",\"facts\":\"a({},{}).\"}}",
+                        i - 2,
+                        i - 1
+                    ),
+                );
+                assert_ok(&resp);
+            }
+        }
+    });
+
+    let readers: Vec<_> = (0..5)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("reader connect");
+                for _ in 0..40 {
+                    // Each answer set comes from one published snapshot, so
+                    // it must be transitively closed — a torn (mid-batch)
+                    // read would violate this.
+                    let resp = request(
+                        &mut c,
+                        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(X, Y)\"}",
+                    );
+                    assert_ok(&resp);
+                    let g: std::collections::BTreeSet<(i64, i64)> =
+                        pairs(&resp).into_iter().collect();
+                    for &(x, y) in &g {
+                        assert!(x < y, "chain edges only go forward: g({x}, {y})");
+                        for &(y2, z) in &g {
+                            if y2 == y {
+                                assert!(
+                                    g.contains(&(x, z)),
+                                    "snapshot not transitively closed: g({x},{y}), g({y},{z})"
+                                );
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Replay the writer's batches to know the final base, evaluate fresh
+    // (unoptimized source program), and demand identical served answers.
+    let mut base = parse_database("a(0,1). a(1,2). a(2,3). a(3,4).").unwrap();
+    for i in 4..20i64 {
+        base.insert(fact("a", [i, i + 1]));
+        if i % 3 == 0 {
+            base.remove(&fact("a", [i - 2, i - 1]));
+        }
+    }
+    let expected = seminaive::evaluate(&parse_program(REDUNDANT_TC).unwrap(), &base);
+    for pred in ["a", "g"] {
+        let resp = request(
+            &mut admin,
+            &format!("{{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"{pred}(X, Y)\"}}"),
+        );
+        assert_ok(&resp);
+        let served: std::collections::BTreeSet<(i64, i64)> = pairs(&resp).into_iter().collect();
+        let fresh: std::collections::BTreeSet<(i64, i64)> = expected
+            .relation(Pred::new(pred))
+            .map(|t| {
+                let mut it = t.iter();
+                let x = format!("{}", it.next().unwrap()).parse().unwrap();
+                let y = format!("{}", it.next().unwrap()).parse().unwrap();
+                (x, y)
+            })
+            .collect();
+        assert_eq!(served, fresh, "served {pred} differs from fresh evaluation");
+    }
+
+    // Stats must expose nonzero request counts and engine work counters.
+    let resp = request(&mut admin, "{\"op\":\"stats\",\"program\":\"tc\"}");
+    assert_ok(&resp);
+    let metrics = resp.get("metrics").unwrap();
+    assert!(metrics.get("requests_total").unwrap().as_u64().unwrap() > 200);
+    assert!(
+        metrics
+            .get("eval")
+            .unwrap()
+            .get("derivations")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0,
+        "{metrics}"
+    );
+    let resp = request(&mut admin, "{\"op\":\"stats\"}");
+    assert_ok(&resp);
+    assert!(
+        resp.get("server")
+            .unwrap()
+            .get("requests_total")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 200
+    );
+
+    assert_ok(&request(&mut admin, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
+#[test]
+fn robustness_against_malformed_and_hostile_input() {
+    let (child, addr) = spawn_daemon(&[
+        "--threads",
+        "3",
+        "--max-bytes",
+        "4096",
+        "--timeout-ms",
+        "600",
+    ]);
+
+    // Malformed JSON gets a structured error and the connection survives.
+    let mut c = Client::connect(&addr).expect("connect");
+    let resp = request(&mut c, "this is { not json");
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("bad_json"));
+    let resp = request(&mut c, "[1, 2, 3]");
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("bad_json"));
+    let resp = request(&mut c, "{\"op\":\"frobnicate\"}");
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("unknown_op"));
+    let resp = request(
+        &mut c,
+        "{\"op\":\"query\",\"program\":\"nope\",\"atom\":\"g(X)\"}",
+    );
+    assert_eq!(resp.get("code").unwrap().as_str(), Some("unknown_program"));
+    assert_ok(&request(&mut c, "{\"op\":\"ping\"}"));
+
+    // Oversized request: structured error with a stable code, then close.
+    let mut big = Client::connect(&addr).expect("connect");
+    let huge = format!(
+        "{{\"op\":\"install\",\"program\":\"x\",\"rules\":\"{}\"}}",
+        "a".repeat(8000)
+    );
+    let resp = big.request_line(&huge).expect("oversize response");
+    assert!(resp.contains("\"code\":\"payload_too_large\""), "{resp}");
+
+    // Mid-request disconnect: a partial line, then the socket vanishes.
+    {
+        let mut partial = TcpStream::connect(&addr).expect("connect raw");
+        partial
+            .write_all(b"{\"op\":\"insert\",\"program\":\"tc\",\"fa")
+            .expect("partial write");
+        // Dropped here without a newline.
+    }
+
+    // A stalled connection is closed with a read_timeout error…
+    let mut stalled = TcpStream::connect(&addr).expect("connect raw");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut closing_line = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stalled.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => closing_line.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(e) => panic!("expected timeout close, got {e}"),
+        }
+    }
+    assert!(
+        closing_line.contains("\"code\":\"read_timeout\""),
+        "{closing_line:?}"
+    );
+
+    // …and none of the above affected other connections: the daemon still
+    // serves fresh clients correctly.
+    let mut fresh = Client::connect(&addr).expect("connect after abuse");
+    assert_ok(&request(&mut fresh, "{\"op\":\"ping\"}"));
+    assert_ok(&request(
+        &mut fresh,
+        "{\"op\":\"install\",\"program\":\"p\",\"rules\":\"g(X, Z) :- a(X, Z).\"}",
+    ));
+    assert_ok(&request(
+        &mut fresh,
+        "{\"op\":\"insert\",\"program\":\"p\",\"facts\":\"a(1,2).\"}",
+    ));
+    let resp = request(
+        &mut fresh,
+        "{\"op\":\"query\",\"program\":\"p\",\"atom\":\"g(1, X)\"}",
+    );
+    assert_eq!(resp.get("count").unwrap().as_u64(), Some(1));
+
+    assert_ok(&request(&mut fresh, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
+#[test]
+fn client_subcommand_round_trips() {
+    let (child, addr) = spawn_daemon(&[]);
+
+    // Successful session through `datalog client`.
+    let out = Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args([
+            "client",
+            &addr,
+            "{\"op\":\"install\",\"program\":\"tc\",\"rules\":\"g(X, Z) :- a(X, Z), a(X, Z).\"}",
+            "{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a(1,2).\"}",
+            "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(X, Y)\"}",
+        ])
+        .output()
+        .expect("run client");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"atoms_removed\":1"), "{stdout}");
+    assert!(stdout.contains("g(1, 2)"), "{stdout}");
+
+    // A failing response flips the exit code to 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args(["client", &addr, "{\"op\":\"nope\"}"])
+        .output()
+        .expect("run client");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Requests on stdin work too; shutdown ends the daemon.
+    let mut piped = Command::new(env!("CARGO_BIN_EXE_datalog"))
+        .args(["client", &addr])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn client");
+    piped
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"{\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    let out = piped.wait_with_output().expect("client output");
+    assert!(out.status.success());
+    expect_clean_exit(child);
+}

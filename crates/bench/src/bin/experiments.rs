@@ -1,8 +1,15 @@
-//! Regenerate every experiment of EXPERIMENTS.md (E1–E15) and print
+//! Regenerate every experiment of EXPERIMENTS.md (E1–E16) and print
 //! paper-claim vs. measured rows. Also writes `experiments.json` with the
 //! raw series so the tables can be rebuilt mechanically.
 //!
 //! Run with: `cargo run -p datalog-bench --bin experiments --release`
+//!
+//! Flags:
+//! * `--only-e16` — run only the E16 evaluation-engine experiment (the CI
+//!   smoke target).
+//! * `--smoke` — shrink E16's workloads and skip its wall-time acceptance
+//!   check, so shared CI runners only verify correctness and the
+//!   zero-rebuild invariant.
 
 use datalog_ast::{fact, parse_atom, parse_database, parse_program, parse_tgds, Program};
 use datalog_bench::{guarded_tc, portable_source, standard_edb, wide_rule, Row};
@@ -50,11 +57,37 @@ impl Report {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let only_e16 = args.iter().any(|a| a == "--only-e16");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(unknown) = args.iter().find(|a| *a != "--only-e16" && *a != "--smoke") {
+        eprintln!("unknown flag {unknown}; supported: --only-e16 --smoke");
+        std::process::exit(2);
+    }
     let mut r = Report {
         rows: Vec::new(),
         failures: 0,
     };
 
+    if !only_e16 {
+        e1_to_e15(&mut r);
+    }
+    e16(&mut r, smoke);
+
+    // Persist raw rows.
+    let json =
+        datalog_json::Value::Array(r.rows.iter().map(|row| row.to_json()).collect()).to_pretty();
+    std::fs::write("experiments.json", &json).expect("write experiments.json");
+    println!("\n{} rows written to experiments.json", r.rows.len());
+
+    if r.failures > 0 {
+        println!("{} CHECK(S) FAILED", r.failures);
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}
+
+fn e1_to_e15(r: &mut Report) {
     println!("== E1: bottom-up computation (Examples 1–3) ==");
     let tc = transitive_closure(TcVariant::Doubling);
     let out = naive::evaluate(&tc, &parse_database("a(1,2). a(1,4). a(4,1).").unwrap());
@@ -441,16 +474,148 @@ fn main() {
             }
         }
     }
+}
 
-    // Persist raw rows.
-    let json =
-        datalog_json::Value::Array(r.rows.iter().map(|row| row.to_json()).collect()).to_pretty();
-    std::fs::write("experiments.json", &json).expect("write experiments.json");
-    println!("\n{} rows written to experiments.json", r.rows.len());
+/// E16 — incremental indexes + parallel rule evaluation.
+///
+/// Compares three evaluators on bloated transitive-closure workloads (the
+/// redundancy-heavy programs of E10, evaluated as-is):
+///
+/// * `rebuild`  — the seed semi-naive evaluator, which rebuilds its hash
+///   indexes and recomputes every join order each round;
+/// * `incr`     — [`EvalContext`]-backed sequential evaluation with
+///   persistent, incrementally-appended indexes and per-round compiled
+///   join scripts;
+/// * `parallel2` — the same incremental-index path with two workers.
+///
+/// Checks: all three produce identical fixpoints; the incremental path
+/// performs zero per-round index rebuilds after round 1 (builds stay under
+/// the static per-pattern bound while the seed path's build count grows
+/// with the round count); and — on the largest workload, full mode only —
+/// the parallel incremental-index path is ≥ 2x faster than the seed
+/// evaluator.
+fn e16(r: &mut Report, smoke: bool) {
+    use datalog_engine::EvalOptions;
 
-    if r.failures > 0 {
-        println!("{} CHECK(S) FAILED", r.failures);
-        std::process::exit(1);
+    println!("== E16: incremental indexes + parallel rule evaluation ==");
+    let program = bloated_tc(6, 99);
+    let pattern_bound: u64 = program
+        .rules
+        .iter()
+        .map(|rule| rule.body.len() as u64 + 1)
+        .sum();
+    let workloads: &[(&str, usize)] = if smoke {
+        &[("chain", 48), ("cycle", 48)]
+    } else {
+        &[("chain", 96), ("cycle", 64), ("cycle", 96)]
+    };
+    let reps = if smoke { 1 } else { 3 };
+
+    for (i, &(kind, n)) in workloads.iter().enumerate() {
+        let largest = i + 1 == workloads.len();
+        let db = standard_edb(kind, n);
+        let workload = format!("bloated6-{kind}{n}");
+
+        let mut outputs = Vec::new();
+        let mut rebuild_stats = Default::default();
+        let t_rebuild = ms(
+            || {
+                let (out, stats) = seminaive::evaluate_rebuilding_with_stats(&program, &db);
+                outputs.push(out);
+                rebuild_stats = stats;
+            },
+            reps,
+        );
+        let mut incr_stats = Default::default();
+        let t_incr = ms(
+            || {
+                let (out, stats) = seminaive::evaluate_with_stats(&program, &db);
+                outputs.push(out);
+                incr_stats = stats;
+            },
+            reps,
+        );
+        let t_par = ms(
+            || {
+                let (out, _) =
+                    seminaive::evaluate_with_opts(&program, &db, EvalOptions::with_threads(2));
+                outputs.push(out);
+            },
+            reps,
+        );
+
+        let first = &outputs[0];
+        r.check(
+            "E16",
+            &format!("{workload}: all three evaluators agree on the fixpoint"),
+            outputs.iter().all(|o| o == first),
+        );
+        r.check(
+            "E16",
+            &format!(
+                "{workload}: zero per-round rebuilds after round 1 \
+                 (incr builds {} ≤ pattern bound {}, rebuild builds {})",
+                incr_stats.index_builds, pattern_bound, rebuild_stats.index_builds
+            ),
+            incr_stats.index_builds <= pattern_bound
+                && rebuild_stats.index_builds > incr_stats.index_builds,
+        );
+        r.row(Row::new(
+            "E16", &workload, "rebuild", n as u64, t_rebuild, "ms",
+        ));
+        r.row(Row::new("E16", &workload, "incr", n as u64, t_incr, "ms"));
+        r.row(Row::new(
+            "E16",
+            &workload,
+            "parallel2",
+            n as u64,
+            t_par,
+            "ms",
+        ));
+        r.row(Row::new(
+            "E16",
+            &workload,
+            "rebuild-builds",
+            n as u64,
+            rebuild_stats.index_builds as f64,
+            "builds",
+        ));
+        r.row(Row::new(
+            "E16",
+            &workload,
+            "incr-builds",
+            n as u64,
+            incr_stats.index_builds as f64,
+            "builds",
+        ));
+        r.row(Row::new(
+            "E16",
+            &workload,
+            "speedup-incr",
+            n as u64,
+            t_rebuild / t_incr,
+            "x",
+        ));
+        r.row(Row::new(
+            "E16",
+            &workload,
+            "speedup-parallel2",
+            n as u64,
+            t_rebuild / t_par,
+            "x",
+        ));
+        if largest && !smoke {
+            r.check(
+                "E16",
+                &format!(
+                    "{workload}: parallel incremental path ≥ 2x over the seed \
+                     evaluator ({:.1}ms vs {:.1}ms, {:.2}x)",
+                    t_par,
+                    t_rebuild,
+                    t_rebuild / t_par
+                ),
+                t_rebuild / t_par >= 2.0,
+            );
+        }
     }
-    println!("all checks passed");
 }

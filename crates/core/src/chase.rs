@@ -18,7 +18,7 @@
 
 use crate::freeze::freeze_rule;
 use datalog_ast::{Atom, Const, Database, GroundAtom, Program, Rule, Subst, Term, Tgd};
-use datalog_engine::naive;
+use datalog_engine::Materialized;
 
 /// Outcome of a semi-decidable test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,57 +108,6 @@ pub(crate) fn has_extension(atoms: &[Atom], db: &Database, base: &Subst) -> bool
     for_each_match(atoms, db, base, &mut |_| true)
 }
 
-/// Apply every tgd of `tgds` to `db` once (one violation-repair pass).
-/// Fresh nulls are drawn from `null_counter`. Returns the number of atoms
-/// added; stops early if `fuel` would be exceeded (returning what was added
-/// so far).
-fn apply_tgds_once(
-    tgds: &[Tgd],
-    db: &mut Database,
-    null_counter: &mut u32,
-    budget: &mut u64,
-) -> u64 {
-    let mut added = 0;
-    for tgd in tgds {
-        // Collect violating substitutions first (don't mutate while
-        // matching); then repair. Re-check the violation at repair time:
-        // an earlier repair in this pass may have satisfied it.
-        let mut violations: Vec<Subst> = Vec::new();
-        let snapshot = db.clone();
-        for_each_match(&tgd.lhs, &snapshot, &Subst::new(), &mut |s| {
-            // Restrict to universal variables (lhs vars) — existentials are
-            // never bound here.
-            if !has_extension(&tgd.rhs, &snapshot, s) {
-                violations.push(s.clone());
-            }
-            false
-        });
-        for theta in violations {
-            if *budget == 0 {
-                return added;
-            }
-            if has_extension(&tgd.rhs, db, &theta) {
-                continue; // repaired meanwhile
-            }
-            let mut extended = theta.clone();
-            for v in tgd.existential_vars() {
-                extended.bind(v, Term::Const(Const::Null(*null_counter)));
-                *null_counter += 1;
-            }
-            for atom in &tgd.rhs {
-                let g = extended
-                    .ground_atom(atom)
-                    .expect("universal vars bound by match, existential by nulls");
-                if db.insert(g) {
-                    added += 1;
-                    *budget = budget.saturating_sub(1);
-                }
-            }
-        }
-    }
-    added
-}
-
 /// Run the combined chase `[P, T]` on `input` until saturation, goal
 /// discovery, or fuel exhaustion.
 ///
@@ -167,6 +116,13 @@ fn apply_tgds_once(
 ///   this is what makes Theorem 1's semi-decision procedure effective: a
 ///   present goal is found in finite time even when `[P,T](bθ)` is
 ///   infinite.
+///
+/// Rule saturation runs on an incrementally-maintained [`Materialized`]
+/// view: the initial fixpoint is computed once, and each tgd repair only
+/// propagates the consequences of the atoms it added — the indexes built
+/// for the first saturation are appended to across every repair pass. (The
+/// previous implementation recomputed the whole fixpoint from scratch,
+/// `naive::evaluate`, once per pass.)
 pub fn chase(
     program: &Program,
     tgds: &[Tgd],
@@ -174,74 +130,111 @@ pub fn chase(
     fuel: u64,
     goal: Option<&GroundAtom>,
 ) -> ChaseResult {
-    let mut db = input.clone();
-    let mut null_counter = next_free_null(&db);
-    let mut budget = fuel;
-    let mut added_total: u64 = 0;
+    let mut null_counter = next_free_null(input);
+    let input_len = input.len();
+
+    if let Some(g) = goal {
+        if input.contains(g) {
+            return ChaseResult {
+                db: input.clone(),
+                status: ChaseStatus::GoalReached,
+                added: 0,
+            };
+        }
+    }
+
+    // Initial rule saturation.
+    let mut m = Materialized::new(program.clone(), input);
+    let mut added_total = (m.database().len() - input_len) as u64;
+    let mut budget = fuel.saturating_sub(added_total);
+    if let Some(g) = goal {
+        if m.database().contains(g) {
+            return ChaseResult {
+                db: m.database().clone(),
+                status: ChaseStatus::GoalReached,
+                added: added_total,
+            };
+        }
+    }
+    if added_total > 0 && budget == 0 {
+        return ChaseResult {
+            db: m.database().clone(),
+            status: ChaseStatus::OutOfFuel,
+            added: added_total,
+        };
+    }
 
     loop {
+        let mut added_this_pass: u64 = 0;
+        let mut out_of_fuel = false;
+        for tgd in tgds {
+            // Collect violating substitutions first (don't mutate while
+            // matching); then repair. Re-check the violation at repair
+            // time: an earlier repair in this pass may have satisfied it —
+            // with the materialised view this includes *rule consequences*
+            // of earlier repairs, not just their direct rhs atoms.
+            let mut violations: Vec<Subst> = Vec::new();
+            for_each_match(&tgd.lhs, m.database(), &Subst::new(), &mut |s| {
+                // Restrict to universal variables (lhs vars) — existentials
+                // are never bound here.
+                if !has_extension(&tgd.rhs, m.database(), s) {
+                    violations.push(s.clone());
+                }
+                false
+            });
+            for theta in violations {
+                if budget == 0 {
+                    out_of_fuel = true;
+                    break;
+                }
+                if has_extension(&tgd.rhs, m.database(), &theta) {
+                    continue; // repaired meanwhile
+                }
+                let mut extended = theta.clone();
+                for v in tgd.existential_vars() {
+                    extended.bind(v, Term::Const(Const::Null(null_counter)));
+                    null_counter += 1;
+                }
+                let rhs: Vec<GroundAtom> = tgd
+                    .rhs
+                    .iter()
+                    .map(|atom| {
+                        extended
+                            .ground_atom(atom)
+                            .expect("universal vars bound by match, existential by nulls")
+                    })
+                    .collect();
+                // The insert also saturates the rules against the repair.
+                let added = m.insert(rhs);
+                added_this_pass += added;
+                added_total += added;
+                budget = budget.saturating_sub(added);
+            }
+            if out_of_fuel {
+                break;
+            }
+        }
+
         if let Some(g) = goal {
-            if db.contains(g) {
+            // A goal derived by the very last funded step still counts.
+            if m.database().contains(g) {
                 return ChaseResult {
-                    db,
+                    db: m.database().clone(),
                     status: ChaseStatus::GoalReached,
                     added: added_total,
                 };
             }
         }
-        let mut added_this_round: u64 = 0;
-
-        // Rule saturation (finite, since rules add no new constants).
-        let saturated = naive::evaluate(program, &db);
-        if saturated.len() > db.len() {
-            let delta = (saturated.len() - db.len()) as u64;
-            added_this_round += delta;
-            added_total += delta;
-            budget = budget.saturating_sub(delta);
-            db = saturated;
-            if let Some(g) = goal {
-                if db.contains(g) {
-                    return ChaseResult {
-                        db,
-                        status: ChaseStatus::GoalReached,
-                        added: added_total,
-                    };
-                }
-            }
-            if budget == 0 {
-                return ChaseResult {
-                    db,
-                    status: ChaseStatus::OutOfFuel,
-                    added: added_total,
-                };
-            }
-        }
-
-        // One tgd repair pass.
-        let tgd_added = apply_tgds_once(tgds, &mut db, &mut null_counter, &mut budget);
-        added_this_round += tgd_added;
-        added_total += tgd_added;
-
-        if added_this_round == 0 {
+        if added_this_pass == 0 && !out_of_fuel {
             return ChaseResult {
-                db,
+                db: m.database().clone(),
                 status: ChaseStatus::Saturated,
                 added: added_total,
             };
         }
-        if budget == 0 {
-            // A goal derived by the very last funded step still counts.
-            if let Some(g) = goal {
-                if db.contains(g) {
-                    return ChaseResult {
-                        db,
-                        status: ChaseStatus::GoalReached,
-                        added: added_total,
-                    };
-                }
-            }
+        if out_of_fuel || budget == 0 {
             return ChaseResult {
-                db,
+                db: m.database().clone(),
                 status: ChaseStatus::OutOfFuel,
                 added: added_total,
             };
@@ -333,6 +326,7 @@ pub fn satisfies_all(db: &Database, tgds: &[Tgd]) -> bool {
 mod tests {
     use super::*;
     use datalog_ast::{parse_database, parse_program, parse_rule, parse_tgd, Pred};
+    use datalog_engine::naive;
 
     #[test]
     fn example9_tgd_satisfaction() {

@@ -11,8 +11,15 @@
 //! the surviving database. To keep base facts and derived atoms apart, the
 //! materialisation remembers the base (`base`): an overdeleted atom that is
 //! still in the base is always rederived.
+//!
+//! The materialisation lives on a persistent [`EvalContext`], so its rule
+//! plans are compiled once at construction and its hash indexes survive
+//! *across update batches*: an insertion batch appends its consequences
+//! into the live indexes, and only a deletion invalidates them (they
+//! re-fill lazily). The seed implementation recompiled every plan and
+//! rebuilt every index on every `insert`/`remove` call.
 
-use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use crate::context::{EvalContext, EvalOptions};
 use crate::stats::Stats;
 use datalog_ast::{Database, GroundAtom, Program};
 use std::sync::Arc;
@@ -36,39 +43,65 @@ use std::sync::Arc;
 /// assert!(!m.database().contains(&fact("g", [1, 3])));
 /// assert!(m.database().contains(&fact("g", [2, 3])));
 /// ```
-#[derive(Clone, Debug)]
 pub struct Materialized {
     program: Program,
     /// The asserted base facts (EDB and any seeded IDB atoms).
     base: Database,
-    /// The saturated database (base ∪ derived).
-    db: Database,
-    /// Cached shareable copy of `db`, invalidated by every mutation, so
-    /// repeated [`Materialized::snapshot`] calls between write batches are
-    /// free (one clone per batch, not per reader).
-    snapshot: Option<Arc<Database>>,
+    /// The persistent evaluation context: compiled plans, the saturated
+    /// database (base ∪ derived), and live indexes over it.
+    cx: EvalContext,
+}
+
+impl Clone for Materialized {
+    fn clone(&self) -> Materialized {
+        Materialized {
+            program: self.program.clone(),
+            base: self.base.clone(),
+            cx: self.cx.fork(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Materialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Materialized")
+            .field("rules", &self.program.rules.len())
+            .field("base_atoms", &self.base.len())
+            .field("db_atoms", &self.cx.database().len())
+            .finish()
+    }
 }
 
 impl Materialized {
     /// Saturate `input` under `program` (semi-naive) and keep the result
     /// ready for incremental updates. Positive programs only.
     pub fn new(program: Program, input: &Database) -> Materialized {
+        Materialized::with_options(program, input, EvalOptions::sequential())
+    }
+
+    /// [`Materialized::new`] with explicit [`EvalOptions`]: updates are
+    /// propagated with the context's worker-thread knob.
+    pub fn with_options(program: Program, input: &Database, opts: EvalOptions) -> Materialized {
         assert!(
             program.is_positive(),
             "incremental maintenance requires a positive program"
         );
-        let db = crate::seminaive::evaluate(&program, input);
+        let mut cx = EvalContext::new(&program, input.clone(), opts);
+        let rules = all_rules(&program);
+        let mut delta = cx.full_round(&rules);
+        while !delta.is_empty() {
+            delta = cx.delta_round(&rules, &delta, &|_| true);
+        }
         Materialized {
             program,
             base: input.clone(),
-            db,
-            snapshot: None,
+            cx,
         }
     }
 
     /// The current fixpoint.
     pub fn database(&self) -> &Database {
-        &self.db
+        self.cx.database()
     }
 
     /// A shareable, immutable snapshot of the current fixpoint.
@@ -76,12 +109,11 @@ impl Materialized {
     /// The returned [`Arc`] stays valid (and unchanged) across later
     /// [`Materialized::insert`]/[`Materialized::remove`] calls — readers can
     /// keep querying it while a writer mutates the materialisation. The
-    /// snapshot is cached internally, so calling this repeatedly between
-    /// write batches clones the database at most once per batch.
+    /// context database is copy-on-write, so handing out a snapshot costs
+    /// one clone per *write batch* (at the first post-snapshot mutation),
+    /// not one per reader.
     pub fn snapshot(&mut self) -> Arc<Database> {
-        self.snapshot
-            .get_or_insert_with(|| Arc::new(self.db.clone()))
-            .clone()
+        self.cx.database_arc()
     }
 
     /// The asserted base facts.
@@ -93,6 +125,12 @@ impl Materialized {
         &self.program
     }
 
+    /// Cumulative work counters over the materialisation's whole life
+    /// (initial saturation plus every update batch).
+    pub fn stats(&self) -> Stats {
+        self.cx.stats()
+    }
+
     /// Insert facts and propagate their consequences. Returns the number of
     /// atoms added (inserted facts that were new, plus derived atoms).
     ///
@@ -102,22 +140,21 @@ impl Materialized {
         self.insert_with_stats(facts).0
     }
 
-    /// [`Materialized::insert`], also returning evaluation statistics.
+    /// [`Materialized::insert`], also returning this batch's evaluation
+    /// statistics.
     pub fn insert_with_stats(
         &mut self,
         facts: impl IntoIterator<Item = GroundAtom>,
     ) -> (u64, Stats) {
-        let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
-        let mut stats = Stats::default();
+        let before = self.cx.stats();
         let mut added: u64 = 0;
-        self.snapshot = None;
 
-        // Seed delta with the genuinely new facts.
+        // Seed delta with the genuinely new facts; the live indexes absorb
+        // them immediately.
         let mut delta = Database::new();
         for f in facts {
             self.base.insert(f.clone());
-            if !self.db.contains(&f) {
-                self.db.insert(f.clone());
+            if self.cx.add_fact(f.clone()) {
                 delta.insert(f);
                 added += 1;
             }
@@ -125,41 +162,12 @@ impl Materialized {
 
         // Delta-driven rounds: any rule whose body mentions a predicate with
         // delta tuples (EDB or IDB — inserted facts may be either) can fire.
+        let rules = all_rules(&self.program);
         while !delta.is_empty() {
-            stats.iterations += 1;
-            let mut derived = Vec::new();
-            {
-                let mut idx = IndexSet::new(&self.db);
-                for plan in &plans {
-                    let delta_positions: Vec<usize> = plan
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, a)| !a.negated && delta.relation_len(a.pred) > 0)
-                        .map(|(i, _)| i)
-                        .collect();
-                    for &pos in &delta_positions {
-                        let order = plan.greedy_order(&self.db);
-                        join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
-                            stats.matches += 1;
-                            derived.push(instantiate_head(plan, assignment));
-                        });
-                    }
-                }
-                stats.probes += idx.probes;
-            }
-            let mut next_delta = Database::new();
-            for atom in derived {
-                if !self.db.contains(&atom) {
-                    self.db.insert(atom.clone());
-                    next_delta.insert(atom);
-                    stats.derivations += 1;
-                    added += 1;
-                }
-            }
-            delta = next_delta;
+            delta = self.cx.delta_round(&rules, &delta, &|_| true);
+            added += delta.len() as u64;
         }
-        (added, stats)
+        (added, self.cx.stats() - before)
     }
 }
 
@@ -171,51 +179,30 @@ impl Materialized {
         self.remove_with_stats(facts).0
     }
 
-    /// [`Materialized::remove`], also returning work counters (probes and
-    /// matches cover both the overdeletion sweep and the rederivation).
+    /// [`Materialized::remove`], also returning this batch's work counters
+    /// (probes and matches cover both the overdeletion sweep and the
+    /// rederivation).
     pub fn remove_with_stats(
         &mut self,
         facts: impl IntoIterator<Item = GroundAtom>,
     ) -> (u64, Stats) {
-        let plans: Vec<RulePlan> = self.program.rules.iter().map(RulePlan::compile).collect();
-        let mut stats = Stats::default();
-        self.snapshot = None;
+        let before = self.cx.stats();
+        let rules = all_rules(&self.program);
 
         // Phase 1 — overdelete. `overdeleted` accumulates every atom with
         // some derivation (over the OLD fixpoint) passing through a deleted
-        // or overdeleted atom.
+        // or overdeleted atom. The sweep never commits, so the context
+        // database *is* the old fixpoint throughout — no snapshot clone.
         let mut delta = Database::new();
         for f in facts {
-            if self.base.remove(&f) && self.db.contains(&f) {
+            if self.base.remove(&f) && self.cx.database().contains(&f) {
                 delta.insert(f);
             }
         }
         let mut overdeleted = delta.clone();
-        // The sweep runs against the old fixpoint snapshot.
-        let old_db = self.db.clone();
+        let old_len = self.cx.database().len();
         while !delta.is_empty() {
-            stats.iterations += 1;
-            let mut hit = Vec::new();
-            {
-                let mut idx = IndexSet::new(&old_db);
-                for plan in &plans {
-                    let delta_positions: Vec<usize> = plan
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, a)| !a.negated && delta.relation_len(a.pred) > 0)
-                        .map(|(i, _)| i)
-                        .collect();
-                    for &pos in &delta_positions {
-                        let order = plan.greedy_order(&old_db);
-                        join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
-                            stats.matches += 1;
-                            hit.push(instantiate_head(plan, assignment));
-                        });
-                    }
-                }
-                stats.probes += idx.probes;
-            }
+            let hit = self.cx.sweep_round(&rules, &delta, &|_| true);
             let mut next_delta = Database::new();
             for atom in hit {
                 if !overdeleted.contains(&atom) {
@@ -226,23 +213,23 @@ impl Materialized {
             delta = next_delta;
         }
 
-        // Remove the overdeleted region from the fixpoint.
-        for atom in overdeleted.iter() {
-            self.db.remove(&atom);
-        }
+        // Remove the overdeleted region from the fixpoint (this is the one
+        // operation that invalidates the live indexes).
+        self.cx.remove_atoms(&overdeleted);
 
         // Phase 2 — rederive. Base facts that were overdeleted (but not
         // deleted) come straight back; derived atoms come back if some rule
         // instantiation over the surviving database produces them. Iterate
         // to fixpoint (restorations can enable further restorations).
+        let mut rstats = Stats::default();
         let mut pending: Vec<GroundAtom> = overdeleted.iter().collect();
         loop {
             let mut restored_any = false;
             let mut still_pending = Vec::new();
             for atom in pending {
-                let back = self.base.contains(&atom) || self.rederivable(&plans, &atom, &mut stats);
+                let back = self.base.contains(&atom) || self.rederivable(&atom, &mut rstats);
                 if back {
-                    self.db.insert(atom);
+                    self.cx.add_fact(atom);
                     restored_any = true;
                 } else {
                     still_pending.push(atom);
@@ -253,26 +240,31 @@ impl Materialized {
                 break;
             }
         }
+        self.cx.record(rstats);
 
-        let removed = old_db.len() - self.db.len();
-        (removed as u64, stats)
+        let removed = old_len - self.cx.database().len();
+        (removed as u64, self.cx.stats() - before)
     }
 
     /// Does some rule instantiation over the current database derive `atom`?
-    fn rederivable(&self, plans: &[RulePlan], atom: &GroundAtom, stats: &mut Stats) -> bool {
-        for (plan, rule) in plans.iter().zip(self.program.rules.iter()) {
-            if plan.head.pred != atom.pred {
+    fn rederivable(&self, atom: &GroundAtom, stats: &mut Stats) -> bool {
+        for rule in &self.program.rules {
+            if rule.head.pred != atom.pred {
                 continue;
             }
             let Some(head_subst) = datalog_ast::match_atom(&rule.head, atom) else {
                 continue;
             };
-            if body_satisfiable(rule, &head_subst, &self.db, stats) {
+            if body_satisfiable(rule, &head_subst, self.cx.database(), stats) {
                 return true;
             }
         }
         false
     }
+}
+
+fn all_rules(program: &Program) -> Vec<usize> {
+    (0..program.rules.len()).collect()
 }
 
 /// Backtracking satisfiability of a rule body under a partial substitution.
@@ -391,6 +383,20 @@ mod tests {
     }
 
     #[test]
+    fn insert_batches_reuse_indexes() {
+        let edb = parse_database("a(1,2). a(2,3).").unwrap();
+        let mut m = Materialized::new(tc(), &edb);
+        let builds_after_init = m.stats().index_builds;
+        let (_, s1) = m.insert_with_stats([fact("a", [3, 4])]);
+        let (_, s2) = m.insert_with_stats([fact("a", [4, 5])]);
+        // Monotone batches never rebuild: they append into the indexes the
+        // initial saturation built.
+        assert_eq!(s1.index_builds + s2.index_builds, 0);
+        assert_eq!(m.stats().index_builds, builds_after_init);
+        assert!(s1.index_appends > 0);
+    }
+
+    #[test]
     fn snapshots_are_immutable_and_cached() {
         let edb = parse_database("a(1,2).").unwrap();
         let mut m = Materialized::new(tc(), &edb);
@@ -419,6 +425,20 @@ mod tests {
         let full: String = (0..10).map(|i| format!("a({}, {}).", i, i + 1)).collect();
         let scratch = crate::seminaive::evaluate(&tc(), &parse_database(&full).unwrap());
         assert_eq!(m.database(), &scratch);
+    }
+
+    #[test]
+    fn parallel_materialization_matches_sequential() {
+        let edb = parse_database("a(1,2). a(2,3). a(3,4). a(4,1).").unwrap();
+        let mut seq = Materialized::new(tc(), &edb);
+        let mut par = Materialized::with_options(tc(), &edb, EvalOptions::with_threads(4));
+        assert_eq!(seq.database(), par.database());
+        seq.insert([fact("a", [4, 5])]);
+        par.insert([fact("a", [4, 5])]);
+        assert_eq!(seq.database(), par.database());
+        seq.remove([fact("a", [2, 3])]);
+        par.remove([fact("a", [2, 3])]);
+        assert_eq!(seq.database(), par.database());
     }
 }
 

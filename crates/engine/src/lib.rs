@@ -14,15 +14,23 @@
 //! * [`stratified`] — stratified-negation evaluation (the §XII extension).
 //! * [`plan`] — compiled rule plans, on-demand hash indices, and the
 //!   backtracking join executor shared by all evaluators.
-//! * [`stats`] — work counters (probes ≈ joins, derivations, rounds) that
-//!   make the paper's "fewer joins" claim measurable.
+//! * [`context`] — persistent [`EvalContext`]s: per-`(pred, positions)`
+//!   indexes maintained incrementally across fixpoint rounds, compiled
+//!   join scripts, and parallel round execution over [`pool`].
+//! * [`pool`] — the std-only worker thread pool (shared with
+//!   `datalog-service`).
+//! * [`stats`] — work counters (probes ≈ joins, derivations, rounds,
+//!   index builds/appends, parallel tasks) that make the paper's "fewer
+//!   joins" claim measurable.
 
 #![warn(rust_2018_idioms)]
 
+pub mod context;
 pub mod incremental;
 pub mod magic;
 pub mod naive;
 pub mod plan;
+pub mod pool;
 pub mod provenance;
 pub mod qsq;
 pub mod scc_eval;
@@ -30,10 +38,12 @@ pub mod seminaive;
 pub mod stats;
 pub mod stratified;
 
+pub use context::{EvalContext, EvalOptions};
 pub use incremental::Materialized;
 pub use magic::{answer, answer_with_stats, magic_transform, MagicProgram};
 pub use naive::apply_once;
 pub use plan::{instantiate_head, join_body, IndexSet, RulePlan};
+pub use pool::ThreadPool;
 pub use provenance::{evaluate_traced, Justification, Proof, Traced};
 pub use stats::Stats;
 pub use stratified::NotStratifiable;

@@ -166,6 +166,10 @@ pub struct IndexSet<'db> {
     /// Number of index probes performed — the "joins done during the
     /// evaluation" measure of §I, reported by [`crate::Stats`].
     pub probes: u64,
+    /// Number of full-scan index constructions performed. An evaluator
+    /// that makes a fresh `IndexSet` per fixpoint round pays this again
+    /// every round; [`crate::EvalContext`] exists to avoid exactly that.
+    pub builds: u64,
 }
 
 impl<'db> IndexSet<'db> {
@@ -174,6 +178,7 @@ impl<'db> IndexSet<'db> {
             db,
             indices: HashMap::new(),
             probes: 0,
+            builds: 0,
         }
     }
 
@@ -187,7 +192,9 @@ impl<'db> IndexSet<'db> {
         if positions.is_empty() {
             // Full scan; cache under the empty position list with unit key.
             let db = self.db;
+            let builds = &mut self.builds;
             let entry = self.indices.entry((pred, Vec::new())).or_insert_with(|| {
+                *builds += 1;
                 let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
                 m.insert(Vec::new(), db.relation(pred).collect());
                 m
@@ -195,10 +202,12 @@ impl<'db> IndexSet<'db> {
             return entry.get(&[] as &[Const]).map_or(&[], Vec::as_slice);
         }
         let db = self.db;
+        let builds = &mut self.builds;
         let entry = self
             .indices
             .entry((pred, positions.to_vec()))
             .or_insert_with(|| {
+                *builds += 1;
                 let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
                 for t in db.relation(pred) {
                     let k: Vec<Const> = positions.iter().map(|&i| t[i]).collect();

@@ -1,7 +1,12 @@
 //! A fixed-size thread pool (std-only; the build environment is offline, so
-//! no tokio/rayon). Workers pull jobs — whole client connections — from a
-//! shared channel; dropping the pool closes the channel and joins every
-//! worker, so server shutdown waits for in-flight connections to finish.
+//! no tokio/rayon). Workers pull jobs from a shared channel; dropping the
+//! pool closes the channel and joins every worker, so shutdown waits for
+//! in-flight jobs to finish.
+//!
+//! This pool is shared infrastructure: the engine's parallel rule
+//! evaluation ([`crate::EvalContext`]) partitions per-round join work
+//! across it, and `datalog-service` re-exports it to run whole client
+//! connections on the same primitive.
 
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -25,7 +30,7 @@ impl ThreadPool {
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 std::thread::Builder::new()
-                    .name(format!("datalog-service-worker-{i}"))
+                    .name(format!("datalog-worker-{i}"))
                     .spawn(move || worker_loop(&receiver))
                     .expect("spawn worker thread")
             })

@@ -7,9 +7,10 @@
 //! rounds never revisit rules whose inputs can no longer change — on
 //! layered programs this removes whole rule-sweeps per round.
 
+use crate::context::{EvalContext, EvalOptions};
 use crate::stats::Stats;
 use datalog_ast::{Database, DepGraph, Pred, Program};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Partition a program's rules into SCC layers in dependency order: the
 /// rules of layer `i` only depend on predicates defined in layers `≤ i`
@@ -38,18 +39,50 @@ pub fn evaluate(program: &Program, input: &Database) -> Database {
 
 /// [`evaluate`], also returning aggregated work counters.
 pub fn evaluate_with_stats(program: &Program, input: &Database) -> (Database, Stats) {
+    evaluate_with_opts(program, input, EvalOptions::sequential())
+}
+
+/// [`evaluate`] with explicit [`EvalOptions`] (worker-thread knob).
+///
+/// One [`EvalContext`] is shared across all SCC layers: indexes built while
+/// saturating an early component are appended to — never rebuilt — when
+/// later components probe the same patterns.
+pub fn evaluate_with_opts(
+    program: &Program,
+    input: &Database,
+    opts: EvalOptions,
+) -> (Database, Stats) {
     assert!(
         program.is_positive(),
         "scc_eval::evaluate requires a positive program; use stratified::evaluate"
     );
-    let mut db = input.clone();
-    let mut stats = Stats::default();
-    for layer in layers(program) {
-        let (next, s) = crate::seminaive::evaluate_with_stats(&layer, &db);
-        db = next;
-        stats += s;
+    let graph = DepGraph::new(program);
+    let sccs = graph.sccs();
+    let comp_of: BTreeMap<Pred, usize> = sccs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
+        .collect();
+    let mut rule_layers: Vec<Vec<usize>> = vec![Vec::new(); sccs.len()];
+    for (i, rule) in program.rules.iter().enumerate() {
+        rule_layers[comp_of[&rule.head.pred]].push(i);
     }
-    (db, stats)
+
+    let mut cx = EvalContext::new(program, input.clone(), opts);
+    for rules in &rule_layers {
+        if rules.is_empty() {
+            continue;
+        }
+        // Only the layer's own head predicates can still grow; everything
+        // else is frozen context by the topological order.
+        let idb: BTreeSet<Pred> = rules.iter().map(|&i| program.rules[i].head.pred).collect();
+        let mut delta = cx.full_round(rules);
+        while !delta.is_empty() {
+            delta = cx.delta_round(rules, &delta, &|p| idb.contains(&p));
+        }
+    }
+    let stats = cx.stats();
+    (cx.into_database(), stats)
 }
 
 #[cfg(test)]

@@ -3,10 +3,15 @@
 //! §I's argument for minimization is that it "reduces the number of joins
 //! done during the evaluation"; [`Stats`] makes that claim measurable. Every
 //! evaluator reports the work it did so benchmarks can compare *logical*
-//! effort (probes, derivations) as well as wall-clock time.
+//! effort (probes, derivations) as well as wall-clock time. The index
+//! counters make the [`crate::EvalContext`] win observable: a context-based
+//! fixpoint builds each `(predicate, bound-positions)` index once
+//! (`index_builds`) and extends it tuple-by-tuple across rounds
+//! (`index_appends`), where the rebuilding evaluator pays `index_builds`
+//! again on every round.
 
 use std::fmt;
-use std::ops::AddAssign;
+use std::ops::{AddAssign, Sub};
 
 /// Work counters for one evaluation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,6 +24,17 @@ pub struct Stats {
     pub matches: u64,
     /// Number of *new* ground atoms derived (duplicates excluded).
     pub derivations: u64,
+    /// Number of full-scan hash-index constructions over a database
+    /// relation. The incremental-index evaluator pays this once per live
+    /// `(predicate, positions)` pattern; the rebuilding evaluator pays it
+    /// once per pattern **per round**.
+    pub index_builds: u64,
+    /// Number of delta tuples appended into already-built indexes instead
+    /// of triggering a rebuild (the incremental-index maintenance work).
+    pub index_appends: u64,
+    /// Number of join work items dispatched to worker threads (0 for a
+    /// fully sequential evaluation).
+    pub parallel_tasks: u64,
 }
 
 impl AddAssign for Stats {
@@ -27,6 +43,27 @@ impl AddAssign for Stats {
         self.probes += rhs.probes;
         self.matches += rhs.matches;
         self.derivations += rhs.derivations;
+        self.index_builds += rhs.index_builds;
+        self.index_appends += rhs.index_appends;
+        self.parallel_tasks += rhs.parallel_tasks;
+    }
+}
+
+impl Sub for Stats {
+    type Output = Stats;
+
+    /// Counter difference — used to report per-batch work from a context
+    /// whose counters accumulate across batches.
+    fn sub(self, rhs: Stats) -> Stats {
+        Stats {
+            iterations: self.iterations.saturating_sub(rhs.iterations),
+            probes: self.probes.saturating_sub(rhs.probes),
+            matches: self.matches.saturating_sub(rhs.matches),
+            derivations: self.derivations.saturating_sub(rhs.derivations),
+            index_builds: self.index_builds.saturating_sub(rhs.index_builds),
+            index_appends: self.index_appends.saturating_sub(rhs.index_appends),
+            parallel_tasks: self.parallel_tasks.saturating_sub(rhs.parallel_tasks),
+        }
     }
 }
 
@@ -34,8 +71,14 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} probes={} matches={} derivations={}",
-            self.iterations, self.probes, self.matches, self.derivations
+            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={}",
+            self.iterations,
+            self.probes,
+            self.matches,
+            self.derivations,
+            self.index_builds,
+            self.index_appends,
+            self.parallel_tasks
         )
     }
 }
@@ -51,12 +94,18 @@ mod tests {
             probes: 10,
             matches: 5,
             derivations: 3,
+            index_builds: 2,
+            index_appends: 7,
+            parallel_tasks: 4,
         };
         a += Stats {
             iterations: 2,
             probes: 1,
             matches: 1,
             derivations: 1,
+            index_builds: 1,
+            index_appends: 1,
+            parallel_tasks: 1,
         };
         assert_eq!(
             a,
@@ -64,9 +113,40 @@ mod tests {
                 iterations: 3,
                 probes: 11,
                 matches: 6,
-                derivations: 4
+                derivations: 4,
+                index_builds: 3,
+                index_appends: 8,
+                parallel_tasks: 5,
             }
         );
+    }
+
+    #[test]
+    fn sub_diffs_fields() {
+        let a = Stats {
+            iterations: 3,
+            probes: 11,
+            matches: 6,
+            derivations: 4,
+            index_builds: 3,
+            index_appends: 8,
+            parallel_tasks: 5,
+        };
+        let b = Stats {
+            iterations: 1,
+            probes: 10,
+            matches: 5,
+            derivations: 3,
+            index_builds: 2,
+            index_appends: 7,
+            parallel_tasks: 4,
+        };
+        let d = a - b;
+        assert_eq!(d.iterations, 2);
+        assert_eq!(d.probes, 1);
+        assert_eq!(d.index_appends, 1);
+        // Saturating: never underflows.
+        assert_eq!((b - a).probes, 0);
     }
 
     #[test]
@@ -76,10 +156,11 @@ mod tests {
             probes: 7,
             matches: 4,
             derivations: 3,
+            ..Stats::default()
         };
         assert_eq!(
             s.to_string(),
-            "iterations=2 probes=7 matches=4 derivations=3"
+            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0"
         );
     }
 }

@@ -9,7 +9,7 @@
 //! lower-stratum/EDB predicates as frozen context. Negated literals always
 //! refer to fully-computed relations, so negation-as-failure is sound.
 
-use crate::plan::{instantiate_head, join_body, IndexSet, RulePlan};
+use crate::context::{EvalContext, EvalOptions};
 use crate::stats::Stats;
 use datalog_ast::{Database, DepGraph, Pred, Program};
 use std::collections::BTreeSet;
@@ -56,84 +56,45 @@ pub fn evaluate_with_stats(
     program: &Program,
     input: &Database,
 ) -> Result<(Database, Stats), NotStratifiable> {
-    let layers = strata(program)?;
-    let mut db = input.clone();
-    let mut stats = Stats::default();
-    for layer in &layers {
-        let (next, s) = evaluate_stratum(layer, &db);
-        db = next;
-        stats += s;
-    }
-    Ok((db, stats))
+    evaluate_with_opts(program, input, EvalOptions::sequential())
 }
 
-/// Semi-naive fixpoint of one stratum. Negated literals refer to predicates
-/// fully computed by earlier strata (or EDB), so they are simply membership
-/// tests against the stable database.
-fn evaluate_stratum(program: &Program, input: &Database) -> (Database, Stats) {
-    let plans: Vec<RulePlan> = program.rules.iter().map(RulePlan::compile).collect();
-    let idb: BTreeSet<Pred> = program.intentional();
-    let mut stats = Stats::default();
-
-    let mut db = input.clone();
-    let mut delta = Database::new();
-    {
-        stats.iterations += 1;
-        let mut idx = IndexSet::new(input);
-        let mut derived = Vec::new();
-        for plan in &plans {
-            let order = plan.greedy_order(input);
-            join_body(plan, &order, &mut idx, None, |assignment| {
-                stats.matches += 1;
-                derived.push(instantiate_head(plan, assignment));
-            });
-        }
-        stats.probes += idx.probes;
-        for atom in derived {
-            if !db.contains(&atom) {
-                db.insert(atom.clone());
-                delta.insert(atom);
-                stats.derivations += 1;
-            }
-        }
+/// [`evaluate`] with explicit [`EvalOptions`] (worker-thread knob).
+///
+/// One [`EvalContext`] is shared across all strata, so the indexes built
+/// while saturating stratum `i` are appended to — not rebuilt — when
+/// stratum `i + 1` probes the same `(pred, positions)` patterns. Negated
+/// literals are membership tests against the context database, which is
+/// sound because every stratum only negates predicates saturated by
+/// earlier strata (or EDB).
+pub fn evaluate_with_opts(
+    program: &Program,
+    input: &Database,
+    opts: EvalOptions,
+) -> Result<(Database, Stats), NotStratifiable> {
+    let graph = DepGraph::new(program);
+    let assignment = graph.stratify().ok_or(NotStratifiable)?;
+    let max = assignment.values().copied().max().unwrap_or(0);
+    let mut layers: Vec<Vec<usize>> = vec![Vec::new(); max + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        layers[assignment[&rule.head.pred]].push(i);
     }
 
-    while !delta.is_empty() {
-        stats.iterations += 1;
-        let mut derived = Vec::new();
-        {
-            let mut idx = IndexSet::new(&db);
-            for plan in &plans {
-                let delta_positions: Vec<usize> = plan
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| {
-                        !a.negated && idb.contains(&a.pred) && delta.relation_len(a.pred) > 0
-                    })
-                    .map(|(i, _)| i)
-                    .collect();
-                for &pos in &delta_positions {
-                    let order = plan.greedy_order(&db);
-                    join_body(plan, &order, &mut idx, Some((pos, &delta)), |assignment| {
-                        stats.matches += 1;
-                        derived.push(instantiate_head(plan, assignment));
-                    });
-                }
-            }
-            stats.probes += idx.probes;
+    let mut cx = EvalContext::new(program, input.clone(), opts);
+    for rules in &layers {
+        if rules.is_empty() {
+            continue;
         }
-        let mut next_delta = Database::new();
-        for atom in derived {
-            if !db.contains(&atom) {
-                db.insert(atom.clone());
-                next_delta.insert(atom);
-                stats.derivations += 1;
-            }
+        // The stratum's own head predicates drive its delta rounds; all
+        // other predicates are frozen context by stratification.
+        let idb: BTreeSet<Pred> = rules.iter().map(|&i| program.rules[i].head.pred).collect();
+        let mut delta = cx.full_round(rules);
+        while !delta.is_empty() {
+            delta = cx.delta_round(rules, &delta, &|p| idb.contains(&p));
         }
-        delta = next_delta;
     }
-    (db, stats)
+    let stats = cx.stats();
+    Ok((cx.into_database(), stats))
 }
 
 #[cfg(test)]

@@ -19,8 +19,9 @@
 //!   every write batch);
 //! * [`metrics`] — per-program and server-wide request counts, latency, and
 //!   aggregated [`datalog_engine::Stats`], served by the `stats` request;
-//! * [`pool`] — the fixed-size worker thread pool (std-only, no async
-//!   runtime);
+//! * [`pool`] — the fixed-size worker thread pool, re-exported from
+//!   `datalog-engine` (one shared primitive drives both the engine's
+//!   parallel rule evaluation and this server's connection handling);
 //! * [`server`] — the TCP daemon: bounded request framing, per-connection
 //!   read timeouts, panic isolation, graceful shutdown;
 //! * [`client`] — a small blocking client used by the CLI, tests, and
@@ -46,7 +47,7 @@
 
 pub mod client;
 pub mod metrics;
-pub mod pool;
+pub use datalog_engine::pool;
 pub mod protocol;
 pub mod registry;
 pub mod server;

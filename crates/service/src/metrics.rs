@@ -98,6 +98,9 @@ impl Metrics {
                     ("probes", Value::from(inner.eval.probes)),
                     ("matches", Value::from(inner.eval.matches)),
                     ("derivations", Value::from(inner.eval.derivations)),
+                    ("index_builds", Value::from(inner.eval.index_builds)),
+                    ("index_appends", Value::from(inner.eval.index_appends)),
+                    ("parallel_tasks", Value::from(inner.eval.parallel_tasks)),
                 ]),
             ),
             ("atoms_added", Value::from(inner.atoms_added)),
@@ -121,6 +124,9 @@ mod tests {
             probes: 10,
             matches: 5,
             derivations: 3,
+            index_builds: 4,
+            index_appends: 9,
+            parallel_tasks: 6,
         });
         m.record_mutation(4, 1);
 
@@ -135,10 +141,11 @@ mod tests {
         assert_eq!(latency.get("total_micros").unwrap().as_u64(), Some(450));
         assert_eq!(latency.get("mean_micros").unwrap().as_u64(), Some(150));
         assert_eq!(latency.get("max_micros").unwrap().as_u64(), Some(300));
-        assert_eq!(
-            j.get("eval").unwrap().get("probes").unwrap().as_u64(),
-            Some(10)
-        );
+        let eval = j.get("eval").unwrap();
+        assert_eq!(eval.get("probes").unwrap().as_u64(), Some(10));
+        assert_eq!(eval.get("index_builds").unwrap().as_u64(), Some(4));
+        assert_eq!(eval.get("index_appends").unwrap().as_u64(), Some(9));
+        assert_eq!(eval.get("parallel_tasks").unwrap().as_u64(), Some(6));
         assert_eq!(j.get("atoms_added").unwrap().as_u64(), Some(4));
     }
 }

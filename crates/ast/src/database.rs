@@ -15,10 +15,29 @@ use std::fmt;
 pub type Tuple = Box<[Const]>;
 
 /// A finite set of ground atoms (an *interpretation* or *structure*, §III).
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, Default)]
 pub struct Database {
     relations: BTreeMap<Pred, BTreeSet<Tuple>>,
 }
+
+/// Set equality over ground atoms. Empty relation buckets (left behind by
+/// [`Database::remove`] on older snapshots, or introduced by unions with
+/// empty relations) carry no atoms and must not distinguish databases.
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        let mut a = self.relations.iter().filter(|(_, r)| !r.is_empty());
+        let mut b = other.relations.iter().filter(|(_, r)| !r.is_empty());
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (Some(x), Some(y)) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Eq for Database {}
 
 impl Database {
     pub fn new() -> Database {
@@ -47,11 +66,20 @@ impl Database {
         self.relations.entry(pred).or_default().insert(tuple)
     }
 
-    /// Remove a ground atom; returns `true` if it was present.
+    /// Remove a ground atom; returns `true` if it was present. A relation
+    /// emptied by the removal is dropped entirely, so a database never
+    /// differs from [`Database::new`] after its last atom is removed.
     pub fn remove(&mut self, atom: &GroundAtom) -> bool {
-        self.relations
-            .get_mut(&atom.pred)
-            .is_some_and(|rel| rel.remove(&atom.tuple))
+        match self.relations.get_mut(&atom.pred) {
+            Some(rel) => {
+                let removed = rel.remove(&atom.tuple);
+                if rel.is_empty() {
+                    self.relations.remove(&atom.pred);
+                }
+                removed
+            }
+            None => false,
+        }
     }
 
     pub fn contains(&self, atom: &GroundAtom) -> bool {
@@ -204,6 +232,27 @@ impl Extend<GroundAtom> for Database {
 mod tests {
     use super::*;
     use crate::atom::fact;
+
+    #[test]
+    fn equality_is_set_equality_after_removal() {
+        // Regression (found by the differential fuzzer): `remove` used to
+        // strand an empty relation bucket, and derived equality then
+        // distinguished a drained database from a fresh one even though
+        // both denote the same set of ground atoms (§III).
+        let mut drained = Database::new();
+        drained.insert(fact("a", [1, 2]));
+        drained.remove(&fact("a", [1, 2]));
+        assert_eq!(drained, Database::new());
+
+        let mut partial = Database::new();
+        partial.insert(fact("a", [1, 2]));
+        partial.insert(fact("b", [3]));
+        partial.remove(&fact("a", [1, 2]));
+        let mut fresh = Database::new();
+        fresh.insert(fact("b", [3]));
+        assert_eq!(partial, fresh);
+        assert_ne!(partial, Database::new());
+    }
 
     #[test]
     fn insert_and_contains() {

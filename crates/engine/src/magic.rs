@@ -14,7 +14,9 @@
 //! query's bindings is produced. Evaluating the transformed program
 //! semi-naively computes exactly the query-relevant portion of the fixpoint.
 
-use datalog_ast::{Atom, Database, GroundAtom, Literal, Pred, Program, Rule, Term, Var};
+use datalog_ast::{
+    match_atom, Atom, Database, GroundAtom, Literal, Pred, Program, Rule, Term, Var,
+};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -47,6 +49,15 @@ impl Adornment {
 
     pub fn all_free(arity: usize) -> Adornment {
         Adornment(vec![false; arity])
+    }
+
+    /// Number of argument positions this adornment covers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
     }
 }
 
@@ -162,6 +173,29 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
         }
     }
 
+    // Import rules: `p__a(V...) :- m__p__a(V bound...), p(V...)` for every
+    // adorned predicate reached. The input database may already hold facts
+    // under the *original* predicate names — seeded IDB facts (the paper's
+    // uniform-equivalence regime quantifies over such databases, §IV), or
+    // the query predicate itself being extensional. Each import rule is the
+    // adornment of the virtual rule `p(V...) :- p_input(V...)`, so standard
+    // magic-sets correctness carries over unchanged.
+    for (pred, a) in &seen {
+        let terms: Vec<Term> = (0..a.len())
+            .map(|i| Term::Var(Var::new(&format!("V{i}"))))
+            .collect();
+        let source = Atom { pred: *pred, terms };
+        let guard = magic_atom(&source, a);
+        let head = Atom {
+            pred: adorned_pred(*pred, a),
+            terms: source.terms.clone(),
+        };
+        out.rules.push(Rule::new(
+            head,
+            vec![Literal::pos(guard), Literal::pos(source)],
+        ));
+    }
+
     let seed = GroundAtom {
         pred: magic_pred(query.pred, &query_adornment),
         tuple: query_adornment
@@ -212,16 +246,14 @@ pub fn answer_with_stats(
     let (result, stats) = crate::seminaive::evaluate_with_stats(&magic.program, &input);
     let mut answers = Database::new();
     for tuple in result.relation(magic.answer_pred) {
-        // Filter to tuples matching the query's constants.
-        let matches = query.terms.iter().zip(tuple.iter()).all(|(t, &c)| match t {
-            Term::Const(qc) => *qc == c,
-            Term::Var(_) => true,
-        });
-        if matches {
-            answers.insert(GroundAtom {
-                pred: query.pred,
-                tuple: tuple.clone(),
-            });
+        // Filter by unifying against the query atom — this checks constants
+        // AND repeated variables (e.g. `g(X, X)`) consistently.
+        let g = GroundAtom {
+            pred: query.pred,
+            tuple: tuple.clone(),
+        };
+        if match_atom(query, &g).is_some() {
+            answers.insert(g);
         }
     }
     (answers, stats)
@@ -238,15 +270,12 @@ mod tests {
         let full = seminaive::evaluate(program, edb);
         let mut out = Database::new();
         for tuple in full.relation(query.pred) {
-            let ok = query.terms.iter().zip(tuple.iter()).all(|(t, &c)| match t {
-                Term::Const(qc) => *qc == c,
-                Term::Var(_) => true,
-            });
-            if ok {
-                out.insert(GroundAtom {
-                    pred: query.pred,
-                    tuple: tuple.clone(),
-                });
+            let g = GroundAtom {
+                pred: query.pred,
+                tuple: tuple.clone(),
+            };
+            if match_atom(query, &g).is_some() {
+                out.insert(g);
             }
         }
         out
@@ -357,9 +386,49 @@ mod tests {
     #[test]
     fn transform_shape() {
         let m = magic_transform(&tc(), &parse_atom("g(1, X)").unwrap());
-        // Adorned rules: 2 for g__bf; magic rules: 1 (for the recursive g).
-        assert_eq!(m.program.len(), 3);
+        // Adorned rules: 2 for g__bf; magic rules: 1 (for the recursive g);
+        // import rules: 1 (seeded `g` input facts for the bf adornment).
+        assert_eq!(m.program.len(), 4);
         assert_eq!(m.seed.to_string(), "m__g__bf(1)");
         assert_eq!(m.answer_pred, Pred::new("g__bf"));
+    }
+
+    #[test]
+    fn repeated_variable_query() {
+        // Regression (found by the differential fuzzer): the answer filter
+        // used to check each position independently, so `g(X, X)` returned
+        // every tuple instead of only the diagonal.
+        let edb = parse_database("a(1,2). a(2,3). a(3,1).").unwrap();
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let query = parse_atom("g(X, X)").unwrap();
+        let got = answer(&p, &edb, &query);
+        assert_eq!(got, reference(&p, &edb, &query));
+        assert_eq!(got.len(), 3); // g(1,1), g(2,2), g(3,3) on a 3-cycle
+    }
+
+    #[test]
+    fn query_on_edb_predicate() {
+        // Regression (found by the differential fuzzer): the transformed
+        // program had no rules at all for an extensional query predicate,
+        // so the answer came back empty.
+        let edb = parse_database("a(1,2). a(1,3). a(2,3).").unwrap();
+        let query = parse_atom("a(1, X)").unwrap();
+        let got = answer(&tc(), &edb, &query);
+        assert_eq!(got, reference(&tc(), &edb, &query));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn seeded_idb_facts_are_visible() {
+        // Regression (found by the differential fuzzer): uniform equivalence
+        // quantifies over databases that may already contain IDB facts
+        // (§IV); the adorned program could not see them under the original
+        // predicate name.
+        let edb = parse_database("a(1,2). g(2,7).").unwrap();
+        let p = parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap();
+        let query = parse_atom("g(1, X)").unwrap();
+        let got = answer(&p, &edb, &query);
+        assert_eq!(got, reference(&p, &edb, &query));
+        assert_eq!(got.len(), 2); // g(1,2) and, through the seed, g(1,7)
     }
 }

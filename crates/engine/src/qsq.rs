@@ -123,11 +123,14 @@ impl<'p> QsqState<'p> {
                 // Join with memoized answers for this adorned predicate —
                 // answers memoized under ANY adornment of this predicate are
                 // valid tuples; restrict matching by the current bindings.
+                // Facts seeded in the input database under the original IDB
+                // name (the §IV uniform-equivalence regime) join in too.
                 let tuples: Vec<Tuple> = self
                     .ans
                     .iter()
                     .filter(|((p, _), _)| *p == atom.pred)
                     .flat_map(|(_, set)| set.iter().cloned())
+                    .chain(self.edb.relation(atom.pred).cloned())
                     .collect();
                 for tuple in tuples {
                     self.stats.probes += 1;
@@ -196,23 +199,23 @@ pub fn answer_with_stats(program: &Program, edb: &Database, query: &Atom) -> (Da
         }
     }
 
-    // Collect answers matching the query pattern.
+    // Collect answers by unifying against the query atom (constants and
+    // repeated variables alike). The input database's own facts for the
+    // query predicate belong in the answer too: the predicate may be
+    // extensional, or intentional with seeded facts.
     let mut out = Database::new();
-    for ((p, _), tuples) in &state.ans {
-        if *p != query.pred {
-            continue;
-        }
-        for tuple in tuples {
-            let ok = query.terms.iter().zip(tuple.iter()).all(|(t, &c)| match t {
-                Term::Const(qc) => *qc == c,
-                Term::Var(_) => true,
-            });
-            if ok {
-                out.insert(GroundAtom {
-                    pred: query.pred,
-                    tuple: tuple.clone(),
-                });
-            }
+    let memoized = state
+        .ans
+        .iter()
+        .filter(|((p, _), _)| *p == query.pred)
+        .flat_map(|(_, tuples)| tuples.iter());
+    for tuple in memoized.chain(edb.relation(query.pred)) {
+        let g = GroundAtom {
+            pred: query.pred,
+            tuple: tuple.clone(),
+        };
+        if datalog_ast::match_atom(query, &g).is_some() {
+            out.insert(g);
         }
     }
     (out, state.stats)
@@ -318,6 +321,50 @@ mod tests {
         assert!(got.contains(&datalog_ast::fact("special", [1, 5])));
         let got9 = answer(&p, &edb, &parse_atom("special(9, X)").unwrap());
         assert!(got9.contains(&datalog_ast::fact("special", [9, 6])));
+    }
+
+    #[test]
+    fn repeated_variable_query() {
+        // Regression (found by the differential fuzzer): the answer filter
+        // ignored repeated variables, so `g(X, X)` returned every closure
+        // tuple instead of only the diagonal.
+        let edb = parse_database("a(1,2). a(2,3). a(3,1).").unwrap();
+        let query = parse_atom("g(X, X)").unwrap();
+        let got = answer(&tc_doubling(), &edb, &query);
+        let full = seminaive::evaluate(&tc_doubling(), &edb);
+        let expected: Database = full
+            .relation(Pred::new("g"))
+            .filter(|t| t[0] == t[1])
+            .map(|t| GroundAtom {
+                pred: Pred::new("g"),
+                tuple: t.clone(),
+            })
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn query_on_edb_predicate() {
+        // Regression (found by the differential fuzzer): nothing scanned the
+        // input database for an extensional query predicate, so the answer
+        // came back empty.
+        let edb = parse_database("a(1,2). a(1,3). a(2,3).").unwrap();
+        let got = answer(&tc_left(), &edb, &parse_atom("a(1, X)").unwrap());
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn seeded_idb_facts_are_visible() {
+        // Regression (found by the differential fuzzer): facts seeded under
+        // an IDB predicate name (§IV uniform-equivalence regime) never
+        // reached the memo tables, so answers derived through them — and the
+        // seeded facts themselves — were missing.
+        let edb = parse_database("a(1,2). g(2,7).").unwrap();
+        let query = parse_atom("g(1, X)").unwrap();
+        let got = answer(&tc_doubling(), &edb, &query);
+        assert_eq!(got, magic::answer(&tc_doubling(), &edb, &query));
+        assert_eq!(got.len(), 2); // g(1,2) and, through the seed, g(1,7)
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Self-contained repro fixtures: render a [`Case`] to text and parse it
+//! back.
+//!
+//! The format (documented in `docs/FUZZING.md`) is line-oriented:
+//!
+//! ```text
+//! % oracle: engines
+//! % kind: query:magic
+//! % seed: 42
+//! [program]
+//! g(X, Z) :- a(X, Z).
+//! g(X, Z) :- g(X, Y), g(Y, Z).
+//! [database]
+//! a(0, 1).
+//! [queries]
+//! g(X, X).
+//! [mutations]
+//! + a(1, 2).
+//! - a(0, 1).
+//! ```
+//!
+//! Leading `%` lines are `key: value` metadata; `[section]` headers
+//! introduce the program (standard Datalog syntax), the initial database,
+//! the queries (one atom per line), and the mutation interleaving (`+` for
+//! an insert batch, `-` for a remove batch, facts separated by `. `).
+//! Empty sections may be omitted. Rendering is canonical: facts are sorted
+//! by their textual form, so a fixture is byte-for-byte reproducible
+//! regardless of symbol-interning order.
+
+use crate::oracles::Family;
+use crate::workload::{Case, Mutation};
+use datalog_ast::{parse_atom, parse_database, parse_program, Database, GroundAtom, Program};
+use std::fmt;
+
+/// A parsed or to-be-written `.repro` file: metadata plus the case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fixture {
+    /// `key: value` pairs from the leading `%` lines, in order. The keys
+    /// `oracle` and `seed` drive replay; everything else is documentation.
+    pub meta: Vec<(String, String)>,
+    pub case: Case,
+}
+
+/// Error from [`Fixture::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixtureError(pub String);
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixture: {}", self.0)
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+fn sorted_fact_lines(db: &Database) -> Vec<String> {
+    let mut lines: Vec<String> = db.iter().map(|a| format!("{a}.")).collect();
+    lines.sort();
+    lines
+}
+
+fn sorted_batch(facts: &[GroundAtom]) -> String {
+    let mut parts: Vec<String> = facts.iter().map(|a| format!("{a}.")).collect();
+    parts.sort();
+    parts.join(" ")
+}
+
+impl Fixture {
+    /// Build a fixture for a reduced case, stamping the standard metadata.
+    pub fn for_case(case: Case, kind: &str) -> Fixture {
+        let meta = vec![
+            ("oracle".to_string(), case.family.name().to_string()),
+            ("kind".to_string(), kind.to_string()),
+            ("seed".to_string(), case.seed.to_string()),
+        ];
+        Fixture { meta, case }
+    }
+
+    /// Canonical textual form. Byte-for-byte deterministic for equal cases.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.meta {
+            out.push_str(&format!("% {k}: {v}\n"));
+        }
+        out.push_str("[program]\n");
+        for rule in &self.case.program.rules {
+            out.push_str(&format!("{rule}\n"));
+        }
+        if !self.case.db.is_empty() {
+            out.push_str("[database]\n");
+            for line in sorted_fact_lines(&self.case.db) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        if !self.case.queries.is_empty() {
+            out.push_str("[queries]\n");
+            for q in &self.case.queries {
+                out.push_str(&format!("{q}.\n"));
+            }
+        }
+        if !self.case.mutations.is_empty() {
+            out.push_str("[mutations]\n");
+            for m in &self.case.mutations {
+                let sign = if m.is_insert() { '+' } else { '-' };
+                out.push_str(&format!("{sign} {}\n", sorted_batch(m.facts())));
+            }
+        }
+        out
+    }
+
+    /// Parse a `.repro` file.
+    pub fn parse(src: &str) -> Result<Fixture, FixtureError> {
+        let mut meta: Vec<(String, String)> = Vec::new();
+        let mut section: Option<&str> = None;
+        let mut program_src = String::new();
+        let mut db_src = String::new();
+        let mut queries: Vec<String> = Vec::new();
+        let mut mutation_lines: Vec<(char, String)> = Vec::new();
+
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('%') {
+                if section.is_none() {
+                    if let Some((k, v)) = rest.split_once(':') {
+                        meta.push((k.trim().to_string(), v.trim().to_string()));
+                    }
+                }
+                continue; // later % lines are comments
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(match name {
+                    "program" => "program",
+                    "database" => "database",
+                    "queries" => "queries",
+                    "mutations" => "mutations",
+                    other => {
+                        return Err(FixtureError(format!(
+                            "line {}: unknown section [{other}]",
+                            lineno + 1
+                        )))
+                    }
+                });
+                continue;
+            }
+            match section {
+                Some("program") => {
+                    program_src.push_str(line);
+                    program_src.push('\n');
+                }
+                Some("database") => {
+                    db_src.push_str(line);
+                    db_src.push('\n');
+                }
+                Some("queries") => queries.push(line.trim_end_matches('.').to_string()),
+                Some("mutations") => {
+                    let Some(sign) = line.chars().next().filter(|c| *c == '+' || *c == '-') else {
+                        return Err(FixtureError(format!(
+                            "line {}: mutation lines start with + or -",
+                            lineno + 1
+                        )));
+                    };
+                    mutation_lines.push((sign, line[1..].trim().to_string()));
+                }
+                _ => {
+                    return Err(FixtureError(format!(
+                        "line {}: content before any [section]",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+
+        let family = meta
+            .iter()
+            .find(|(k, _)| k == "oracle")
+            .and_then(|(_, v)| Family::parse(v))
+            .ok_or_else(|| FixtureError("missing or invalid `% oracle:` metadata".into()))?;
+        let seed = meta
+            .iter()
+            .find(|(k, _)| k == "seed")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let program: Program =
+            parse_program(&program_src).map_err(|e| FixtureError(format!("[program]: {e}")))?;
+        let db = parse_database(&db_src).map_err(|e| FixtureError(format!("[database]: {e}")))?;
+        let queries = queries
+            .iter()
+            .map(|q| parse_atom(q).map_err(|e| FixtureError(format!("[queries] `{q}`: {e}"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mutations = mutation_lines
+            .into_iter()
+            .map(|(sign, rest)| {
+                let facts: Vec<GroundAtom> = parse_database(&rest)
+                    .map_err(|e| FixtureError(format!("[mutations] `{rest}`: {e}")))?
+                    .iter()
+                    .collect();
+                Ok(if sign == '+' {
+                    Mutation::Insert(facts)
+                } else {
+                    Mutation::Remove(facts)
+                })
+            })
+            .collect::<Result<Vec<_>, FixtureError>>()?;
+
+        Ok(Fixture {
+            meta,
+            case: Case {
+                family,
+                seed,
+                program,
+                db,
+                queries,
+                mutations,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::fact;
+
+    fn sample() -> Fixture {
+        let case = Case {
+            family: Family::Incremental,
+            seed: 99,
+            program: parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap(),
+            db: parse_database("a(0,1). a(1,2).").unwrap(),
+            queries: vec![parse_atom("g(0, X)").unwrap()],
+            mutations: vec![
+                Mutation::Insert(vec![fact("a", [2, 0])]),
+                Mutation::Remove(vec![fact("a", [0, 1]), fact("a", [1, 2])]),
+            ],
+        };
+        Fixture::for_case(case, "incr:step")
+    }
+
+    #[test]
+    fn round_trips() {
+        let fx = sample();
+        let text = fx.render();
+        let back = Fixture::parse(&text).unwrap();
+        assert_eq!(back, fx);
+        // Rendering the parse renders identically: canonical form.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let fx = sample();
+        let text = fx.render();
+        let db_at = text.find("[database]").unwrap();
+        let q_at = text.find("[queries]").unwrap();
+        let db_block = &text[db_at..q_at];
+        assert!(db_block.find("a(0, 1)").unwrap() < db_block.find("a(1, 2)").unwrap());
+        assert!(text.starts_with("% oracle: incremental\n% kind: incr:step\n% seed: 99\n"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Fixture::parse("[program]\n???").is_err());
+        assert!(
+            Fixture::parse("g(X) :- a(X).").is_err(),
+            "content before section"
+        );
+        assert!(
+            Fixture::parse("[program]\n").is_err(),
+            "missing oracle meta"
+        );
+        assert!(Fixture::parse("% oracle: engines\n[mutations]\nx a(1).").is_err());
+    }
+
+    #[test]
+    fn omitted_sections_parse_empty() {
+        let fx = Fixture::parse("% oracle: engines\n[program]\ng(X) :- a(X).\n").unwrap();
+        assert!(fx.case.db.is_empty());
+        assert!(fx.case.queries.is_empty());
+        assert!(fx.case.mutations.is_empty());
+        assert_eq!(fx.case.seed, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! # datalog-oracle
+//!
+//! A seeded differential fuzzing subsystem for the `sagiv-datalog`
+//! workspace, after Zhang et al., *"Finding Cross-rule Optimization Bugs in
+//! Datalog Engines"* (2024): the repo computes the same answers many ways —
+//! naive/semi-naive/SCC/stratified/parallel fixpoints, magic-sets and QSQ
+//! query answering, incremental insert/DRed-remove maintenance, and §VII
+//! uniform-equivalence minimization — and precisely that redundancy is the
+//! test oracle. Random workloads are generated from `datalog-generate`,
+//! every computation path is cross-checked, and any disagreement is shrunk
+//! by a delta-debugging reducer into a self-contained fixture that replays
+//! as a regression test.
+//!
+//! * [`workload`] — seeded (program, database, queries, mutations) cases;
+//! * [`oracles`] — the three divergence checks (engine matrix,
+//!   optimization soundness, incremental consistency);
+//! * [`reduce`] — greedy delta-debugging reduction (rules → atoms →
+//!   queries → mutations → facts → constant renumbering);
+//! * [`fixture`] — the `.repro` file format under `tests/repros/`;
+//! * [`report`] — aggregate results with JSON rendering for CI.
+//!
+//! Entry point: [`fuzz`] with a [`FuzzConfig`]; the `datalog fuzz` CLI
+//! subcommand is a thin wrapper around it.
+
+#![warn(rust_2018_idioms)]
+
+pub mod fixture;
+pub mod oracles;
+pub mod reduce;
+pub mod report;
+pub mod workload;
+
+pub use fixture::{Fixture, FixtureError};
+pub use oracles::{check, filtered_fixpoint, Divergence, Family};
+pub use reduce::reduce;
+pub use report::{Finding, FuzzReport};
+pub use workload::{Case, Mutation};
+
+use std::time::Instant;
+
+/// Configuration for a fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; case `i` runs on a seed derived from `seed` and `i`.
+    pub seed: u64,
+    /// Number of cases to attempt (round-robined across `families`).
+    pub cases: u64,
+    /// Hard wall-clock budget; the run stops early when exceeded.
+    pub budget_ms: Option<u64>,
+    /// Which oracle families to exercise.
+    pub families: Vec<Family>,
+    /// Reduce diverging cases to minimal fixtures (on by default; turning
+    /// it off reports the raw generated case instead).
+    pub reduce: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            cases: 300,
+            budget_ms: None,
+            families: Family::ALL.to_vec(),
+            reduce: true,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The CI smoke configuration: fixed seed, all families, ≥200 cases,
+    /// and a hard time budget so a hang cannot stall the pipeline.
+    pub fn smoke() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0x0DA7_A106,
+            cases: 240,
+            budget_ms: Some(120_000),
+            families: Family::ALL.to_vec(),
+            reduce: true,
+        }
+    }
+}
+
+/// Derive the per-case seed: a SplitMix64-style mix of base seed and index,
+/// so neighbouring indices produce uncorrelated workloads.
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run the fuzzer. Deterministic for a fixed config (modulo `elapsed_ms`
+/// and early stops under a wall-clock budget).
+pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
+    let start = Instant::now();
+    let mut report = FuzzReport {
+        cases_run: config.families.iter().map(|&f| (f, 0)).collect(),
+        ..FuzzReport::default()
+    };
+    if config.families.is_empty() {
+        return report;
+    }
+    for i in 0..config.cases {
+        if let Some(budget) = config.budget_ms {
+            if start.elapsed().as_millis() as u64 >= budget {
+                report.budget_exhausted = true;
+                break;
+            }
+        }
+        let family = config.families[(i % config.families.len() as u64) as usize];
+        let seed = case_seed(config.seed, i);
+        let case = workload::generate(seed, family);
+        if let Some(slot) = report.cases_run.iter_mut().find(|(f, _)| *f == family) {
+            slot.1 += 1;
+        }
+        let divergences = oracles::check(&case);
+        if divergences.is_empty() {
+            continue;
+        }
+        let reduced = if config.reduce {
+            reduce::reduce(&case, &|c| !oracles::check(c).is_empty())
+        } else {
+            case.clone()
+        };
+        let kind = divergences
+            .first()
+            .map(|d| d.kind.clone())
+            .unwrap_or_default();
+        let fixture = fixture::Fixture::for_case(reduced, &kind).render();
+        report
+            .findings
+            .push(report::finding_from(seed, family, &divergences, fixture));
+    }
+    report.elapsed_ms = start.elapsed().as_millis() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seed_spreads() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        let c = case_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, case_seed(1, 0));
+    }
+
+    #[test]
+    fn tiny_run_terminates() {
+        let report = fuzz(&FuzzConfig {
+            seed: 1,
+            cases: 9,
+            budget_ms: Some(60_000),
+            families: Family::ALL.to_vec(),
+            reduce: false,
+        });
+        assert_eq!(report.total_cases(), 9);
+        assert_eq!(report.cases_run.len(), 3);
+    }
+
+    #[test]
+    fn zero_budget_stops_immediately() {
+        let report = fuzz(&FuzzConfig {
+            budget_ms: Some(0),
+            ..FuzzConfig::default()
+        });
+        assert_eq!(report.total_cases(), 0);
+        assert!(report.budget_exhausted);
+    }
+}

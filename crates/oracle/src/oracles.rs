@@ -1,0 +1,408 @@
+//! The three oracle families and their divergence checks.
+//!
+//! Each check recomputes the same answer several independent ways and
+//! reports every disagreement as a [`Divergence`]. The reference result is
+//! always the sequential semi-naive fixpoint ([`seminaive::evaluate`]) —
+//! every other evaluator, query strategy, optimizer output, and incremental
+//! state is compared against it (or against a from-scratch recomputation
+//! seeded by it).
+//!
+//! * **Engine matrix** — naive, rebuilding semi-naive, SCC-layered,
+//!   stratified, and parallel (2/4 workers) evaluation must produce
+//!   identical fixpoints; magic-sets and QSQ answers must equal the
+//!   pattern-filtered fixpoint for every query.
+//! * **Optimization soundness** — `minimize_program` (Fig. 2),
+//!   `minimize_program_in_order` under a random consideration order, and a
+//!   redundancy-injected bloat must all agree with the original program on
+//!   IDB-seeded databases (the paper's uniform-equivalence regime, §IV),
+//!   and the minimized programs must test ≡u against the original (§VI).
+//! * **Incremental consistency** — after every insert/remove batch the
+//!   [`Materialized`] fixpoint must equal a from-scratch evaluation of the
+//!   surviving base.
+
+use crate::workload::{Case, Mutation};
+use datalog_ast::{match_atom, Atom, Database, GroundAtom, Program};
+use datalog_engine::Materialized;
+use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, EvalOptions};
+use datalog_optimizer::{minimize_program, minimize_program_in_order, uniformly_equivalent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The oracle family a case belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Family {
+    Engines,
+    Optimization,
+    Incremental,
+}
+
+impl Family {
+    pub const ALL: [Family; 3] = [Family::Engines, Family::Optimization, Family::Incremental];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Engines => "engines",
+            Family::Optimization => "optimization",
+            Family::Incremental => "incremental",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Family> {
+        match s {
+            "engines" => Some(Family::Engines),
+            "optimization" => Some(Family::Optimization),
+            "incremental" => Some(Family::Incremental),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One disagreement between two ways of computing the same answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    pub family: Family,
+    /// Stable machine-readable kind, e.g. `engine:naive`, `query:magic`,
+    /// `opt:minimized`, `incr:step`.
+    pub kind: String,
+    /// Human-readable explanation with sample atoms from both sides.
+    pub message: String,
+}
+
+/// Run the case's oracle family, returning every divergence found.
+///
+/// Invalid intermediate cases (as the reducer may produce) are treated as
+/// non-divergent: a reduction step that breaks validity is simply rejected.
+pub fn check(case: &Case) -> Vec<Divergence> {
+    if datalog_ast::validate(&case.program).is_err() {
+        return Vec::new();
+    }
+    match case.family {
+        Family::Engines => check_engines(case),
+        Family::Optimization => check_optimization(case),
+        Family::Incremental => check_incremental(case),
+    }
+}
+
+/// Render a compact sample of the symmetric difference between two
+/// databases, capped so reducer-sized repros stay readable.
+fn diff_sample(expected: &Database, got: &Database) -> String {
+    let cap = 4;
+    let missing: Vec<String> = expected
+        .iter()
+        .filter(|a| !got.contains(a))
+        .take(cap)
+        .map(|a| a.to_string())
+        .collect();
+    let extra: Vec<String> = got
+        .iter()
+        .filter(|a| !expected.contains(a))
+        .take(cap)
+        .map(|a| a.to_string())
+        .collect();
+    format!(
+        "missing [{}] extra [{}] (expected {} atoms, got {})",
+        missing.join(", "),
+        extra.join(", "),
+        expected.len(),
+        got.len()
+    )
+}
+
+/// The reference answer for an adorned query: the full fixpoint filtered by
+/// pattern-matching the query atom (consistently binding repeated
+/// variables).
+pub fn filtered_fixpoint(full: &Database, query: &Atom) -> Database {
+    let mut out = Database::new();
+    for tuple in full.relation(query.pred) {
+        let g = GroundAtom {
+            pred: query.pred,
+            tuple: tuple.clone(),
+        };
+        if match_atom(query, &g).is_some() {
+            out.insert(g);
+        }
+    }
+    out
+}
+
+fn check_engines(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    let db = &case.db;
+
+    if !program.is_positive() {
+        // Stratified negation: the worker-count matrix is the only other
+        // evaluator that supports it.
+        let Ok(reference) = stratified::evaluate(program, db) else {
+            return out; // not stratifiable — nothing to compare
+        };
+        for workers in [2usize, 4] {
+            match stratified::evaluate_with_opts(program, db, EvalOptions::with_threads(workers)) {
+                Ok((got, _)) if got == reference => {}
+                Ok((got, _)) => out.push(Divergence {
+                    family: Family::Engines,
+                    kind: format!("engine:stratified-{workers}"),
+                    message: format!(
+                        "stratified @{workers} workers disagrees with sequential: {}",
+                        diff_sample(&reference, &got)
+                    ),
+                }),
+                Err(e) => out.push(Divergence {
+                    family: Family::Engines,
+                    kind: format!("engine:stratified-{workers}"),
+                    message: format!("stratified @{workers} workers errored: {e}"),
+                }),
+            }
+        }
+        return out;
+    }
+
+    let reference = seminaive::evaluate(program, db);
+    let mut engines: Vec<(String, Database)> = vec![
+        ("naive".into(), naive::evaluate(program, db)),
+        (
+            "rebuilding".into(),
+            seminaive::evaluate_rebuilding(program, db),
+        ),
+        ("scc".into(), scc_eval::evaluate(program, db)),
+    ];
+    if let Ok(strat) = stratified::evaluate(program, db) {
+        engines.push(("stratified".into(), strat));
+    }
+    for workers in [2usize, 4] {
+        let (got, _) =
+            seminaive::evaluate_with_opts(program, db, EvalOptions::with_threads(workers));
+        engines.push((format!("parallel-{workers}"), got));
+    }
+    for (name, got) in engines {
+        if got != reference {
+            out.push(Divergence {
+                family: Family::Engines,
+                kind: format!("engine:{name}"),
+                message: format!(
+                    "{name} disagrees with sequential semi-naive: {}",
+                    diff_sample(&reference, &got)
+                ),
+            });
+        }
+    }
+
+    for query in &case.queries {
+        let expected = filtered_fixpoint(&reference, query);
+        for (strategy, got) in [
+            ("magic", magic::answer(program, db, query)),
+            ("qsq", qsq::answer(program, db, query)),
+        ] {
+            if got != expected {
+                out.push(Divergence {
+                    family: Family::Engines,
+                    kind: format!("query:{strategy}"),
+                    message: format!(
+                        "{strategy} answer for `{query}` disagrees with the filtered fixpoint: {}",
+                        diff_sample(&expected, &got)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_optimization(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    if !program.is_positive() {
+        return out;
+    }
+    let db = &case.db;
+    let reference = seminaive::evaluate(program, db);
+
+    let mut candidates: Vec<(String, Program)> = Vec::new();
+    match minimize_program(program) {
+        Ok((min, _)) => candidates.push(("minimized".into(), min)),
+        Err(e) => out.push(Divergence {
+            family: Family::Optimization,
+            kind: "opt:error".into(),
+            message: format!("minimize_program failed on a valid program: {e}"),
+        }),
+    }
+    // A random consideration order — the satellite audit: every order must
+    // yield a uniformly equivalent (if not syntactically identical) program.
+    let mut rng = StdRng::seed_from_u64(case.seed ^ 0x5bd1_e995);
+    let rule_order = permutation(&mut rng, program.len());
+    let atom_orders: Vec<Vec<usize>> = program
+        .rules
+        .iter()
+        .map(|r| permutation(&mut rng, r.width()))
+        .collect();
+    match minimize_program_in_order(program, &rule_order, &atom_orders) {
+        Ok((min, _)) => candidates.push(("minimized-in-order".into(), min)),
+        Err(e) => out.push(Divergence {
+            family: Family::Optimization,
+            kind: "opt:error".into(),
+            message: format!("minimize_program_in_order failed on a valid program: {e}"),
+        }),
+    }
+    // Redundancy injection is ≡u-preserving by construction; the bloat must
+    // not change any fixpoint.
+    let (bloated, applied) = datalog_generate::inject(program, 3, case.seed ^ 0xc2b2_ae35);
+    if applied > 0 {
+        candidates.push(("injected".into(), bloated));
+    }
+
+    for (name, candidate) in candidates {
+        let got = seminaive::evaluate(&candidate, db);
+        if got != reference {
+            out.push(Divergence {
+                family: Family::Optimization,
+                kind: format!("opt:{name}"),
+                message: format!(
+                    "{name} program disagrees with the original on this database: {}",
+                    diff_sample(&reference, &got)
+                ),
+            });
+        }
+        if name.starts_with("minimized") {
+            match uniformly_equivalent(&candidate, program) {
+                Ok(true) => {}
+                Ok(false) => out.push(Divergence {
+                    family: Family::Optimization,
+                    kind: format!("opt:{name}-equiv"),
+                    message: format!("{name} program is not uniformly equivalent to the original"),
+                }),
+                Err(e) => out.push(Divergence {
+                    family: Family::Optimization,
+                    kind: "opt:error".into(),
+                    message: format!("≡u check failed: {e}"),
+                }),
+            }
+        }
+    }
+    out
+}
+
+fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates with the vendored rng.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+fn check_incremental(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    if !program.is_positive() {
+        return out;
+    }
+    let mut m = Materialized::new(program.clone(), &case.db);
+    let mut shadow = case.db.clone();
+
+    // Commit 0: initial saturation.
+    let scratch = seminaive::evaluate(program, &shadow);
+    if m.database() != &scratch {
+        out.push(Divergence {
+            family: Family::Incremental,
+            kind: "incr:init".into(),
+            message: format!(
+                "initial materialization disagrees with from-scratch: {}",
+                diff_sample(&scratch, m.database())
+            ),
+        });
+        return out;
+    }
+
+    for (step, mutation) in case.mutations.iter().enumerate() {
+        match mutation {
+            Mutation::Insert(facts) => {
+                for f in facts {
+                    shadow.insert(f.clone());
+                }
+                m.insert(facts.iter().cloned());
+            }
+            Mutation::Remove(facts) => {
+                for f in facts {
+                    shadow.remove(f);
+                }
+                m.remove(facts.iter().cloned());
+            }
+        }
+        let scratch = seminaive::evaluate(program, &shadow);
+        if m.database() != &scratch {
+            let op = if mutation.is_insert() {
+                "insert"
+            } else {
+                "remove"
+            };
+            out.push(Divergence {
+                family: Family::Incremental,
+                kind: "incr:step".into(),
+                message: format!(
+                    "after {op} batch #{step} the materialization disagrees with from-scratch: {}",
+                    diff_sample(&scratch, m.database())
+                ),
+            });
+            return out; // later steps would only echo the same corruption
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::{parse_atom, parse_database, parse_program};
+
+    #[test]
+    fn clean_case_has_no_divergence() {
+        let case = Case {
+            family: Family::Engines,
+            seed: 0,
+            program: parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap(),
+            db: parse_database("a(1,2). a(2,3).").unwrap(),
+            queries: vec![parse_atom("g(1, X)").unwrap()],
+            mutations: Vec::new(),
+        };
+        assert_eq!(check(&case), Vec::new());
+    }
+
+    #[test]
+    fn filtered_fixpoint_respects_repeated_vars() {
+        let full = parse_database("g(1,1). g(1,2). g(2,2).").unwrap();
+        let q = parse_atom("g(X, X)").unwrap();
+        let got = filtered_fixpoint(&full, &q);
+        assert_eq!(got, parse_database("g(1,1). g(2,2).").unwrap());
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for f in Family::ALL {
+            assert_eq!(Family::parse(f.name()), Some(f));
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+
+    #[test]
+    fn broken_candidate_is_reported() {
+        // An incremental case whose removal hits a fact with a surviving
+        // alternative derivation — must NOT diverge.
+        let case = Case {
+            family: Family::Incremental,
+            seed: 0,
+            program: parse_program("g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).").unwrap(),
+            db: parse_database("a(1,2). a(1,9). a(9,2). a(2,3).").unwrap(),
+            queries: Vec::new(),
+            mutations: vec![Mutation::Remove(vec![datalog_ast::fact("a", [1, 2])])],
+        };
+        assert_eq!(check(&case), Vec::new());
+    }
+}

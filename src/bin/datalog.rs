@@ -19,6 +19,9 @@
 //! datalog serve    [--addr H:P] [--threads N]          materialized-view daemon (JSON protocol)
 //!                  [--max-bytes N] [--timeout-ms N]
 //! datalog client   <addr> [request-json]...            send protocol requests (stdin if none)
+//! datalog fuzz     [--seed N] [--cases N] [--budget-ms N]   differential oracle fuzzing
+//!                  [--oracle all|engines|optimization|incremental]
+//!                  [--format text|json] [--repro-dir DIR] [--smoke]
 //! ```
 //!
 //! Exit codes: 0 success, 1 user error (bad args, parse/validation
@@ -62,6 +65,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "chase" => cmd_chase(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -89,7 +93,9 @@ usage:
   datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N]
   datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
   datalog serve    [--addr HOST:PORT] [--threads N] [--max-bytes N] [--timeout-ms N]
-  datalog client   <addr> [request-json]...   (reads stdin when no requests given)"
+  datalog client   <addr> [request-json]...   (reads stdin when no requests given)
+  datalog fuzz     [--seed N] [--cases N] [--budget-ms N] [--oracle FAMILY]
+                   [--format text|json] [--repro-dir DIR] [--smoke]"
     );
 }
 
@@ -102,7 +108,8 @@ fn split_flags(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
-            if name == "stats" {
+            // Boolean flags take no value.
+            if name == "stats" || name == "smoke" {
                 flags.push((name, ""));
                 i += 1;
             } else {
@@ -630,6 +637,72 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         ExitCode::from(2)
     } else {
         ExitCode::SUCCESS
+    })
+}
+
+/// Differential oracle fuzzing (see `docs/FUZZING.md`). Exit code 0 when
+/// every case agrees across the engine matrix / optimizer / incremental
+/// oracles, 2 when any divergence was found. Divergences are reduced to
+/// minimal repros; `--repro-dir` writes them as `.repro` fixtures.
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    use sagiv_datalog::oracle::{fuzz, Family, FuzzConfig};
+
+    let (pos, flags) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(
+            "usage: datalog fuzz [--seed N] [--cases N] [--budget-ms N] [--oracle FAMILY] \
+             [--format text|json] [--repro-dir DIR] [--smoke]"
+                .into(),
+        );
+    }
+    let mut config = if flags.has("smoke") {
+        FuzzConfig::smoke()
+    } else {
+        FuzzConfig::default()
+    };
+    let parse_num = |name: &str, v: &str| -> Result<u64, String> {
+        v.parse()
+            .map_err(|_| format!("--{name}: `{v}` is not a number"))
+    };
+    if let Some(v) = flags.get("seed") {
+        config.seed = parse_num("seed", v)?;
+    }
+    if let Some(v) = flags.get("cases") {
+        config.cases = parse_num("cases", v)?;
+    }
+    if let Some(v) = flags.get("budget-ms") {
+        config.budget_ms = Some(parse_num("budget-ms", v)?);
+    }
+    if let Some(v) = flags.get("oracle") {
+        config.families = match v {
+            "all" => Family::ALL.to_vec(),
+            name => vec![Family::parse(name).ok_or_else(|| {
+                format!("--oracle: `{name}` is not all|engines|optimization|incremental")
+            })?],
+        };
+    }
+
+    let mut report = fuzz(&config);
+
+    if let Some(dir) = flags.get("repro-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for finding in &mut report.findings {
+            let path = format!("{dir}/fuzz-{}-{}.repro", finding.family, finding.seed);
+            std::fs::write(&path, &finding.fixture)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            finding.written_to = Some(path);
+        }
+    }
+
+    match flags.get("format").unwrap_or("text") {
+        "json" => println!("{}", report.to_json().to_pretty()),
+        "text" => println!("{report}"),
+        other => return Err(format!("unknown format `{other}` (text|json)")),
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     })
 }
 

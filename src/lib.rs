@@ -20,6 +20,9 @@
 //!   ground-truth redundancy;
 //! * [`analysis`] (`datalog-analysis`) — structural and semantic lints
 //!   with span-aware structured diagnostics (`datalog lint`);
+//! * [`oracle`] (`datalog-oracle`) — the differential fuzzing subsystem
+//!   behind `datalog fuzz`: engine-matrix, optimization-soundness, and
+//!   incremental-consistency oracles plus a delta-debugging case reducer;
 //! * [`service`] (`datalog-service`) — the concurrent materialized-view
 //!   server behind `datalog serve`: optimize-on-install program registry,
 //!   snapshot-isolated reads, line-delimited JSON wire protocol.
@@ -51,6 +54,7 @@ pub use datalog_ast as ast;
 pub use datalog_engine as engine;
 pub use datalog_generate as generate;
 pub use datalog_optimizer as optimizer;
+pub use datalog_oracle as oracle;
 pub use datalog_service as service;
 
 /// The most frequently used items, in one import.

@@ -1,0 +1,84 @@
+//! Replay of minimized fuzzer repros.
+//!
+//! Every `.repro` file under `tests/repros/` is a case the differential
+//! fuzzer once reduced from a real divergence. Replaying it through the
+//! same oracle that caught it pins the fix: a regression flips the oracle
+//! back to "diverges" and this test fails with the original evidence.
+
+use sagiv_datalog::oracle::{check, reduce, Case, Fixture};
+use std::fs;
+use std::path::PathBuf;
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/repros")
+}
+
+fn repros() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = fs::read_dir(repro_dir())
+        .expect("tests/repros exists")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if path.extension()? != "repro" {
+                return None;
+            }
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            Some((name, fs::read_to_string(&path).expect("readable repro")))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(
+        repros().len() >= 4,
+        "expected the committed repro corpus, found {}",
+        repros().len()
+    );
+}
+
+#[test]
+fn every_repro_replays_clean() {
+    for (name, text) in repros() {
+        let fixture = Fixture::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let divergences = check(&fixture.case);
+        assert!(
+            divergences.is_empty(),
+            "{name} regressed: {}",
+            divergences
+                .iter()
+                .map(|d| format!("[{}] {}", d.kind, d.message))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn every_repro_is_canonical() {
+    // Fixtures are committed in the renderer's canonical form, so a repro
+    // regenerated on any machine is byte-identical to the committed one.
+    for (name, text) in repros() {
+        let fixture = Fixture::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(fixture.render(), text, "{name} is not in canonical form");
+    }
+}
+
+#[test]
+fn reducer_is_deterministic_on_corpus_cases() {
+    // Reduce each corpus case against a structural predicate (the real
+    // divergences are fixed, so the oracle itself can no longer drive the
+    // reducer here). Reducing twice from either starting point must give
+    // byte-identical fixtures.
+    let keep = |c: &Case| !c.program.rules.is_empty() && (c.db.len() + c.mutations.len()) >= 1;
+    for (name, text) in repros() {
+        let fixture = Fixture::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let once = reduce(&fixture.case, &keep);
+        let twice = reduce(&once, &keep);
+        assert_eq!(once, twice, "{name}: reduction is not idempotent");
+        let a = Fixture::for_case(once, "replay").render();
+        let b = Fixture::for_case(twice, "replay").render();
+        assert_eq!(a, b, "{name}: re-reduction changed the fixture bytes");
+    }
+}

@@ -393,7 +393,7 @@ impl Lint for SingletonVariable {
             }
             let head_vars: BTreeSet<_> = rule.head.vars().collect();
             for (v, n) in count {
-                if n != 1 || v.name().starts_with('_') {
+                if n != 1 || v.with_name(|name| name.starts_with('_')) {
                     continue;
                 }
                 // A head-only singleton is a range-restriction error and is

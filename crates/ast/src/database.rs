@@ -3,11 +3,19 @@
 //! The paper views "a collection of relations … as a single set consisting of
 //! all the ground atoms of these relations" (§III). [`Database`] is that set,
 //! bucketed by predicate for efficient joins.
+//!
+//! Storage is columnar: each predicate's tuples live in arena-backed
+//! [`Relation`]s (one per arity — validated programs use a single arity per
+//! predicate, but the set semantics tolerate mixtures). Cloning a database is
+//! cheap: relations are `Arc`-shared copy-on-write, so snapshots share arenas
+//! until a write touches them. All observable iteration (equality, `Display`,
+//! [`Database::iter`], [`Database::relation`]) is in tuple order, independent
+//! of insertion history, exactly as the former `BTreeSet` storage behaved.
 
 use crate::atom::GroundAtom;
+use crate::relation::{Relation, SortedRows};
 use crate::symbol::Pred;
 use crate::term::Const;
-use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -17,7 +25,8 @@ pub type Tuple = Box<[Const]>;
 /// A finite set of ground atoms (an *interpretation* or *structure*, §III).
 #[derive(Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<Pred, BTreeSet<Tuple>>,
+    /// Per-predicate relations, one per arity, ascending arity order.
+    relations: BTreeMap<Pred, Vec<Relation>>,
 }
 
 /// Set equality over ground atoms. Empty relation buckets (left behind by
@@ -25,12 +34,23 @@ pub struct Database {
 /// empty relations) carry no atoms and must not distinguish databases.
 impl PartialEq for Database {
     fn eq(&self, other: &Database) -> bool {
-        let mut a = self.relations.iter().filter(|(_, r)| !r.is_empty());
-        let mut b = other.relations.iter().filter(|(_, r)| !r.is_empty());
+        let nonempty = |rels: &&Vec<Relation>| rels.iter().any(|r| !r.is_empty());
+        let mut a = self.relations.values().filter(nonempty);
+        let mut b = other.relations.values().filter(nonempty);
+        let mut ka = self
+            .relations
+            .iter()
+            .filter(|(_, r)| nonempty(r))
+            .map(|(p, _)| p);
+        let mut kb = other
+            .relations
+            .iter()
+            .filter(|(_, r)| nonempty(r))
+            .map(|(p, _)| p);
         loop {
-            match (a.next(), b.next()) {
-                (None, None) => return true,
-                (Some(x), Some(y)) if x == y => {}
+            match (ka.next(), kb.next(), a.next(), b.next()) {
+                (None, None, None, None) => return true,
+                (Some(pa), Some(pb), Some(ra), Some(rb)) if pa == pb && groups_eq(ra, rb) => {}
                 _ => return false,
             }
         }
@@ -38,6 +58,17 @@ impl PartialEq for Database {
 }
 
 impl Eq for Database {}
+
+/// Set equality across two per-arity relation groups.
+fn groups_eq(a: &[Relation], b: &[Relation]) -> bool {
+    let total = |g: &[Relation]| g.iter().map(Relation::len).sum::<usize>();
+    total(a) == total(b)
+        && a.iter().flat_map(Relation::rows).all(|row| {
+            b.iter()
+                .find(|r| r.arity() == row.len())
+                .is_some_and(|r| r.contains(row))
+        })
+}
 
 impl Database {
     pub fn new() -> Database {
@@ -55,96 +86,159 @@ impl Database {
 
     /// Insert a ground atom; returns `true` if it was new.
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
-        self.relations
-            .entry(atom.pred)
-            .or_default()
-            .insert(atom.tuple)
+        self.insert_row(atom.pred, &atom.tuple)
     }
 
     /// Insert a raw tuple under `pred`; returns `true` if it was new.
     pub fn insert_tuple(&mut self, pred: Pred, tuple: Tuple) -> bool {
-        self.relations.entry(pred).or_default().insert(tuple)
+        self.insert_row(pred, &tuple)
+    }
+
+    /// Insert a row view under `pred`; returns `true` if it was new. Never
+    /// allocates per tuple — the row is copied into the arena only when new.
+    pub fn insert_row(&mut self, pred: Pred, row: &[Const]) -> bool {
+        self.insert_row_id(pred, row).is_some()
+    }
+
+    /// Like [`Database::insert_row`], but returns the fresh row-id when the
+    /// row was new. Ids are dense per (predicate, arity) and stay valid until
+    /// the next [`Database::remove`] on that relation.
+    pub fn insert_row_id(&mut self, pred: Pred, row: &[Const]) -> Option<u32> {
+        let rels = self.relations.entry(pred).or_default();
+        let rel = match rels.iter().position(|r| r.arity() >= row.len()) {
+            Some(i) if rels[i].arity() == row.len() => &mut rels[i],
+            Some(i) => {
+                rels.insert(i, Relation::new(row.len()));
+                &mut rels[i]
+            }
+            None => {
+                rels.push(Relation::new(row.len()));
+                rels.last_mut().expect("just pushed")
+            }
+        };
+        rel.insert(row)
     }
 
     /// Remove a ground atom; returns `true` if it was present. A relation
     /// emptied by the removal is dropped entirely, so a database never
     /// differs from [`Database::new`] after its last atom is removed.
     pub fn remove(&mut self, atom: &GroundAtom) -> bool {
-        match self.relations.get_mut(&atom.pred) {
-            Some(rel) => {
-                let removed = rel.remove(&atom.tuple);
-                if rel.is_empty() {
-                    self.relations.remove(&atom.pred);
-                }
-                removed
+        let Some(rels) = self.relations.get_mut(&atom.pred) else {
+            return false;
+        };
+        let Some(i) = rels.iter().position(|r| r.arity() == atom.tuple.len()) else {
+            return false;
+        };
+        let removed = rels[i].remove(&atom.tuple);
+        if removed && rels[i].is_empty() {
+            rels.remove(i);
+            if rels.is_empty() {
+                self.relations.remove(&atom.pred);
             }
-            None => false,
         }
+        removed
     }
 
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.relations
-            .get(&atom.pred)
-            .is_some_and(|rel| rel.contains(&atom.tuple))
+        self.contains_tuple(atom.pred, &atom.tuple)
     }
 
     pub fn contains_tuple(&self, pred: Pred, tuple: &[Const]) -> bool {
-        self.relations
-            .get(&pred)
+        self.relation_of(pred, tuple.len())
             .is_some_and(|rel| rel.contains(tuple))
     }
 
-    /// The relation for `pred` (empty if absent).
-    pub fn relation(&self, pred: Pred) -> impl Iterator<Item = &Tuple> {
-        self.relations.get(&pred).into_iter().flatten()
+    /// The arena-backed storage for `pred` at `arity`, if present. This is
+    /// the engine's row-id entry point.
+    pub fn relation_of(&self, pred: Pred, arity: usize) -> Option<&Relation> {
+        self.relations
+            .get(&pred)?
+            .iter()
+            .find(|r| r.arity() == arity)
+    }
+
+    /// Every arena-backed relation of `pred` (one per arity, ascending).
+    pub fn relations_of(&self, pred: Pred) -> &[Relation] {
+        self.relations.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// The relation for `pred` (empty if absent), in tuple order.
+    pub fn relation(&self, pred: Pred) -> RelationRows<'_> {
+        RelationRows::new(self.relations_of(pred))
     }
 
     /// Number of tuples in the relation for `pred`.
     pub fn relation_len(&self, pred: Pred) -> usize {
-        self.relations.get(&pred).map_or(0, BTreeSet::len)
+        self.relations_of(pred).iter().map(Relation::len).sum()
     }
 
     /// Predicates with at least one tuple.
     pub fn predicates(&self) -> impl Iterator<Item = Pred> + '_ {
         self.relations
             .iter()
-            .filter(|(_, r)| !r.is_empty())
+            .filter(|(_, rels)| rels.iter().any(|r| !r.is_empty()))
             .map(|(&p, _)| p)
     }
 
     /// Total number of ground atoms.
     pub fn len(&self) -> usize {
-        self.relations.values().map(BTreeSet::len).sum()
+        self.relations
+            .values()
+            .flat_map(|rels| rels.iter().map(Relation::len))
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.relations.values().all(BTreeSet::is_empty)
+        self.relations
+            .values()
+            .all(|rels| rels.iter().all(Relation::is_empty))
     }
 
-    /// Iterate all ground atoms.
+    /// Bytes held by all row arenas (capacity). Feeds the engine's
+    /// `arena_bytes` stat and the E17 storage microbenchmark.
+    pub fn arena_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .flat_map(|rels| rels.iter().map(Relation::arena_bytes))
+            .sum()
+    }
+
+    /// Iterate all ground atoms, in (predicate, tuple) order.
     pub fn iter(&self) -> impl Iterator<Item = GroundAtom> + '_ {
-        self.relations.iter().flat_map(|(&pred, rel)| {
-            rel.iter().map(move |t| GroundAtom {
+        self.relations.iter().flat_map(|(&pred, rels)| {
+            RelationRows::new(rels).map(move |t| GroundAtom {
                 pred,
-                tuple: t.clone(),
+                tuple: t.into(),
             })
         })
     }
 
     /// Set-union with another database (the `⟨d1, d2⟩` of §III); returns the
-    /// number of new atoms added.
+    /// number of new atoms added. Relations absent on the left are shared
+    /// (`Arc`), not copied.
     pub fn union_with(&mut self, other: &Database) -> usize {
         let mut added = 0;
-        for (&pred, rel) in &other.relations {
-            match self.relations.entry(pred) {
-                Entry::Vacant(e) => {
-                    added += rel.len();
-                    e.insert(rel.clone());
-                }
-                Entry::Occupied(mut e) => {
-                    for t in rel {
-                        if e.get_mut().insert(t.clone()) {
-                            added += 1;
+        for (&pred, rels) in &other.relations {
+            for rel in rels {
+                match self
+                    .relations
+                    .get(&pred)
+                    .and_then(|mine| mine.iter().find(|r| r.arity() == rel.arity()))
+                {
+                    None => {
+                        added += rel.len();
+                        let mine = self.relations.entry(pred).or_default();
+                        let at = mine
+                            .iter()
+                            .position(|r| r.arity() >= rel.arity())
+                            .unwrap_or(mine.len());
+                        mine.insert(at, rel.clone());
+                    }
+                    Some(_) => {
+                        for row in rel.rows() {
+                            if self.insert_row(pred, row) {
+                                added += 1;
+                            }
                         }
                     }
                 }
@@ -155,22 +249,22 @@ impl Database {
 
     /// Subset test: every ground atom of `self` is in `other`.
     pub fn is_subset_of(&self, other: &Database) -> bool {
-        self.relations
-            .iter()
-            .all(|(pred, rel)| match other.relations.get(pred) {
-                Some(orel) => rel.is_subset(orel),
-                None => rel.is_empty(),
-            })
+        self.relations.iter().all(|(&pred, rels)| {
+            rels.iter()
+                .flat_map(Relation::rows)
+                .all(|row| other.contains_tuple(pred, row))
+        })
     }
 
     /// Restrict to the given predicates (e.g. projecting out the IDB part).
+    /// Surviving relations are shared, not copied.
     pub fn restrict_to(&self, preds: &BTreeSet<Pred>) -> Database {
         Database {
             relations: self
                 .relations
                 .iter()
                 .filter(|(p, _)| preds.contains(p))
-                .map(|(&p, r)| (p, r.clone()))
+                .map(|(&p, rels)| (p, rels.clone()))
                 .collect(),
         }
     }
@@ -181,7 +275,7 @@ impl Database {
         self.relations
             .values()
             .flatten()
-            .flat_map(|t| t.iter().copied())
+            .flat_map(|rel| rel.rows().flatten().copied())
             .collect()
     }
 
@@ -191,7 +285,40 @@ impl Database {
         self.relations
             .values()
             .flatten()
-            .any(|t| t.iter().any(Const::is_null))
+            .any(|rel| rel.rows().any(|row| row.iter().any(Const::is_null)))
+    }
+}
+
+/// Iterator over one predicate's rows in tuple order: a k-way merge of the
+/// per-arity [`Relation`]s' sorted streams (rows of different arities
+/// interleave exactly as they did in a single `BTreeSet<Box<[Const]>>`).
+pub struct RelationRows<'a> {
+    streams: Vec<std::iter::Peekable<SortedRows<'a>>>,
+}
+
+impl<'a> RelationRows<'a> {
+    fn new(rels: &'a [Relation]) -> RelationRows<'a> {
+        RelationRows {
+            streams: rels.iter().map(|r| r.iter_sorted().peekable()).collect(),
+        }
+    }
+}
+
+impl<'a> Iterator for RelationRows<'a> {
+    type Item = &'a [Const];
+
+    fn next(&mut self) -> Option<&'a [Const]> {
+        // One stream per arity; usually exactly one, so the scan is cheap.
+        let mut best: Option<(usize, &'a [Const])> = None;
+        for (i, s) in self.streams.iter_mut().enumerate() {
+            if let Some(&row) = s.peek() {
+                match best {
+                    Some((_, front)) if front <= row => {}
+                    _ => best = Some((i, row)),
+                }
+            }
+        }
+        self.streams[best?.0].next()
     }
 }
 
@@ -326,9 +453,42 @@ mod tests {
         let atoms: Vec<String> = db.iter().map(|a| a.to_string()).collect();
         let again: Vec<String> = db.iter().map(|a| a.to_string()).collect();
         assert_eq!(atoms, again);
-        // BTree ordering: per-predicate buckets sorted by symbol id is stable;
-        // within a predicate, tuples sort ascending.
+        // Per-predicate buckets sorted by symbol id are stable; within a
+        // predicate, tuples iterate in ascending tuple order regardless of
+        // insertion order.
         let a_rows: Vec<&String> = atoms.iter().filter(|s| s.starts_with("a(")).collect();
         assert_eq!(a_rows, vec!["a(1)", "a(9)"]);
+    }
+
+    #[test]
+    fn mixed_arity_tuples_interleave_in_tuple_order() {
+        // The set semantics tolerate one predicate at several arities; the
+        // public iteration must order rows exactly as a BTreeSet of boxed
+        // tuples did: [1] < [1, 0] < [2].
+        let mut db = Database::new();
+        db.insert(fact("m", [2]));
+        db.insert(fact("m", [1, 0]));
+        db.insert(fact("m", [1]));
+        let rows: Vec<String> = db.iter().map(|a| a.to_string()).collect();
+        assert_eq!(rows, vec!["m(1)", "m(1, 0)", "m(2)"]);
+        assert_eq!(db.relation_len(Pred::new("m")), 3);
+        assert!(db.contains_tuple(Pred::new("m"), &[Const::Int(1)]));
+        assert!(db.contains_tuple(Pred::new("m"), &[Const::Int(1), Const::Int(0)]));
+    }
+
+    #[test]
+    fn clones_share_arenas_until_mutated() {
+        let mut db = Database::from_atoms([fact("a", [1]), fact("b", [2])]);
+        let snap = db.clone();
+        let shared = |d: &Database, p: &str| {
+            d.relation_of(Pred::new(p), 1)
+                .expect("relation exists")
+                .shares_storage_with(snap.relation_of(Pred::new(p), 1).expect("relation exists"))
+        };
+        assert!(shared(&db, "a") && shared(&db, "b"));
+        db.insert(fact("a", [9]));
+        assert!(!shared(&db, "a"), "written relation unshared");
+        assert!(shared(&db, "b"), "untouched relation still shared");
+        assert_eq!(snap.len(), 2, "snapshot unaffected");
     }
 }

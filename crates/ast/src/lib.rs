@@ -32,6 +32,7 @@ pub mod database;
 pub mod depgraph;
 pub mod parse;
 pub mod program;
+pub mod relation;
 pub mod rule;
 pub mod schema;
 pub mod span;
@@ -42,13 +43,14 @@ pub mod tgd;
 pub mod validate;
 
 pub use atom::{atom, fact, Atom, GroundAtom, Literal};
-pub use database::{Database, Tuple};
+pub use database::{Database, RelationRows, Tuple};
 pub use depgraph::DepGraph;
 pub use parse::{
     parse_atom, parse_database, parse_program, parse_rule, parse_tgd, parse_tgds, parse_unit,
     ParseError, Unit,
 };
 pub use program::Program;
+pub use relation::{hash_row, Relation, RowHashMap};
 pub use rule::Rule;
 pub use schema::{ColType, Schema, SchemaError, SchemaSet};
 pub use span::{RuleSpans, Span};

@@ -1,0 +1,467 @@
+//! Columnar arena-backed relation storage.
+//!
+//! A [`Relation`] stores every tuple of one predicate (at one arity) in a
+//! single flat `Vec<Const>` arena. Rows are addressed by dense `u32` row-ids
+//! in insertion order; reading a row is a bounds-checked slice of the arena,
+//! so no per-tuple `Box` is ever allocated. Deduplication is a hash set over
+//! row *views*: a map from row hash to the ids carrying that hash, with
+//! collision chains resolved by comparing slices against the arena.
+//!
+//! The whole structure lives behind an `Arc` with copy-on-write semantics:
+//! cloning a `Relation` (and hence a `Database`) is a reference-count bump,
+//! so snapshot publication in the service layer is O(1) and a snapshot's
+//! arenas are shared until the next mutation touches them.
+//!
+//! Insertion order is an engine-internal detail. Anything observable — set
+//! equality, `Display`, [`crate::Database::iter`] — goes through
+//! [`Relation::iter_sorted`], which yields rows in tuple order via a lazily
+//! built, mutation-invalidated cache of sorted row-ids. This keeps the §III
+//! "a database is a set of ground atoms" semantics (and the deterministic
+//! rendering the repro fixtures depend on) independent of insertion history.
+
+use crate::symbol::Var;
+use crate::term::Const;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// A no-op hasher for maps keyed by already-mixed `u64` hashes (the output
+/// of [`hash_row`]). Avoids re-hashing the hash.
+#[derive(Default)]
+pub struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are expected; fold bytes defensively anyway.
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8)) ^ b as u64;
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// A `HashMap` keyed by row hashes, using the identity hasher.
+pub type RowHashMap<V> = HashMap<u64, V, BuildHasherDefault<U64Hasher>>;
+
+const FX: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fold(h: u64, x: u64) -> u64 {
+    (h.rotate_left(5) ^ x).wrapping_mul(FX)
+}
+
+/// Deterministic, well-mixed hash of a row of constants. Stable within a
+/// process run (symbol ids are interning-order dependent across runs).
+#[inline]
+pub fn hash_row(row: &[Const]) -> u64 {
+    let mut h = fold(0xcbf2_9ce4_8422_2325, row.len() as u64);
+    for &c in row {
+        let (tag, payload) = match c {
+            Const::Int(i) => (0u64, i as u64),
+            Const::Sym(s) => (1, s.id() as u64),
+            Const::Frozen(Var(s)) => (2, s.id() as u64),
+            Const::Null(n) => (3, n as u64),
+        };
+        h = fold(fold(h, tag), payload);
+    }
+    h
+}
+
+/// Row-ids sharing one hash bucket. The single-id case is by far the common
+/// one, so it carries no heap allocation.
+#[derive(Clone, Debug)]
+enum Ids {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Ids {
+    fn push(&mut self, id: u32) {
+        match self {
+            Ids::One(a) => *self = Ids::Many(vec![*a, id]),
+            Ids::Many(v) => v.push(id),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Inner {
+    arity: usize,
+    /// Flat row storage: row `i` occupies `arena[i*arity .. (i+1)*arity]`.
+    arena: Vec<Const>,
+    /// Row count (explicit so arity-0 relations can hold the empty tuple).
+    len: u32,
+    /// Dedup set over row views: row hash → ids with that hash.
+    buckets: RowHashMap<Ids>,
+    /// Row-ids in tuple order, built lazily, dropped on every mutation.
+    sorted: OnceLock<Box<[u32]>>,
+}
+
+impl Inner {
+    #[inline]
+    fn row(&self, id: u32) -> &[Const] {
+        let a = self.arity;
+        let start = id as usize * a;
+        &self.arena[start..start + a]
+    }
+
+    fn find_hashed(&self, h: u64, row: &[Const]) -> Option<u32> {
+        match self.buckets.get(&h)? {
+            Ids::One(id) => (self.row(*id) == row).then_some(*id),
+            Ids::Many(ids) => ids.iter().copied().find(|&id| self.row(id) == row),
+        }
+    }
+
+    fn bucket_remove(&mut self, h: u64, id: u32) {
+        match self.buckets.get_mut(&h) {
+            Some(Ids::One(a)) if *a == id => {
+                self.buckets.remove(&h);
+            }
+            Some(Ids::Many(v)) => {
+                v.retain(|&x| x != id);
+                if let [only] = v[..] {
+                    self.buckets.insert(h, Ids::One(only));
+                }
+            }
+            _ => debug_assert!(false, "row id missing from its dedup bucket"),
+        }
+    }
+
+    fn bucket_replace(&mut self, h: u64, from: u32, to: u32) {
+        match self.buckets.get_mut(&h) {
+            Some(Ids::One(a)) if *a == from => *a = to,
+            Some(Ids::Many(v)) => {
+                for x in v {
+                    if *x == from {
+                        *x = to;
+                    }
+                }
+            }
+            _ => debug_assert!(false, "moved row id missing from its dedup bucket"),
+        }
+    }
+}
+
+/// A deduplicated set of same-arity rows in columnar arena storage.
+///
+/// See the module docs for the layout. Cloning is O(1) (`Arc` bump);
+/// mutation copies the storage only when it is actually shared.
+#[derive(Clone)]
+pub struct Relation {
+    inner: Arc<Inner>,
+}
+
+impl Relation {
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            inner: Arc::new(Inner {
+                arity,
+                arena: Vec::new(),
+                len: 0,
+                buckets: RowHashMap::default(),
+                sorted: OnceLock::new(),
+            }),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.inner.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.len == 0
+    }
+
+    /// Bytes held by the row arena (capacity, not just live rows).
+    pub fn arena_bytes(&self) -> usize {
+        self.inner.arena.capacity() * std::mem::size_of::<Const>()
+    }
+
+    /// The row for `id`. Panics on out-of-range ids.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[Const] {
+        debug_assert!(id < self.inner.len, "row id out of range");
+        self.inner.row(id)
+    }
+
+    /// The id of `row`, if present.
+    #[inline]
+    pub fn find(&self, row: &[Const]) -> Option<u32> {
+        if row.len() != self.inner.arity {
+            return None;
+        }
+        self.inner.find_hashed(hash_row(row), row)
+    }
+
+    #[inline]
+    pub fn contains(&self, row: &[Const]) -> bool {
+        self.find(row).is_some()
+    }
+
+    /// Insert a row; returns its fresh id if it was new, `None` if it was
+    /// already present. Duplicate inserts never copy shared storage.
+    pub fn insert(&mut self, row: &[Const]) -> Option<u32> {
+        debug_assert_eq!(row.len(), self.inner.arity, "arity mismatch");
+        let h = hash_row(row);
+        if self.inner.find_hashed(h, row).is_some() {
+            return None;
+        }
+        let inner = Arc::make_mut(&mut self.inner);
+        let id = inner.len;
+        inner.arena.extend_from_slice(row);
+        inner.len += 1;
+        match inner.buckets.entry(h) {
+            Entry::Vacant(e) => {
+                e.insert(Ids::One(id));
+            }
+            Entry::Occupied(mut e) => e.get_mut().push(id),
+        }
+        inner.sorted = OnceLock::new();
+        Some(id)
+    }
+
+    /// Remove a row; returns `true` if it was present. The last row is
+    /// swap-moved into the hole, so removal invalidates previously handed
+    /// out row-ids (engine index stores are rebuilt after removals).
+    pub fn remove(&mut self, row: &[Const]) -> bool {
+        if row.len() != self.inner.arity {
+            return false;
+        }
+        let h = hash_row(row);
+        let Some(id) = self.inner.find_hashed(h, row) else {
+            return false;
+        };
+        let inner = Arc::make_mut(&mut self.inner);
+        let last = inner.len - 1;
+        inner.bucket_remove(h, id);
+        if id != last {
+            let last_hash = hash_row(inner.row(last));
+            let a = inner.arity;
+            let (dst, src) = (id as usize * a, last as usize * a);
+            for k in 0..a {
+                inner.arena[dst + k] = inner.arena[src + k];
+            }
+            inner.bucket_replace(last_hash, last, id);
+        }
+        inner.arena.truncate(last as usize * inner.arity);
+        inner.len = last;
+        inner.sorted = OnceLock::new();
+        true
+    }
+
+    /// Rows in id (insertion) order, paired with their ids.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (u32, &[Const])> {
+        (0..self.inner.len).map(move |id| (id, self.inner.row(id)))
+    }
+
+    /// Rows in id (insertion) order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Const]> {
+        (0..self.inner.len).map(move |id| self.inner.row(id))
+    }
+
+    fn sorted_ids(&self) -> &[u32] {
+        self.inner.sorted.get_or_init(|| {
+            let mut ids: Vec<u32> = (0..self.inner.len).collect();
+            ids.sort_unstable_by(|&a, &b| self.inner.row(a).cmp(self.inner.row(b)));
+            ids.into_boxed_slice()
+        })
+    }
+
+    /// Rows in tuple (`Ord`) order — the order a `BTreeSet<Box<[Const]>>`
+    /// would iterate in. Backed by a lazily built sorted-id cache.
+    pub fn iter_sorted(&self) -> SortedRows<'_> {
+        SortedRows {
+            inner: &self.inner,
+            ids: self.sorted_ids().iter(),
+        }
+    }
+
+    /// True when both relations share one arena (snapshot-sharing tests).
+    pub fn shares_storage_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// Iterator over rows in tuple order (see [`Relation::iter_sorted`]).
+pub struct SortedRows<'a> {
+    inner: &'a Inner,
+    ids: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Iterator for SortedRows<'a> {
+    type Item = &'a [Const];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [Const]> {
+        self.ids.next().map(|&id| self.inner.row(id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.ids.size_hint()
+    }
+}
+
+impl ExactSizeIterator for SortedRows<'_> {}
+
+/// Set equality (insertion order is not observable).
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        self.inner.arity == other.inner.arity
+            && self.inner.len == other.inner.len
+            && self.rows().all(|r| other.contains(r))
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_sorted()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Vec<Const> {
+        vals.iter().map(|&i| Const::Int(i)).collect()
+    }
+
+    #[test]
+    fn insert_dedup_and_ids() {
+        let mut rel = Relation::new(2);
+        assert_eq!(rel.insert(&r(&[1, 2])), Some(0));
+        assert_eq!(rel.insert(&r(&[3, 4])), Some(1));
+        assert_eq!(rel.insert(&r(&[1, 2])), None, "duplicate");
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.row(0), &r(&[1, 2])[..]);
+        assert_eq!(rel.row(1), &r(&[3, 4])[..]);
+        assert!(rel.contains(&r(&[3, 4])));
+        assert!(!rel.contains(&r(&[4, 3])));
+        assert_eq!(rel.find(&r(&[3, 4])), Some(1));
+    }
+
+    #[test]
+    fn sorted_iteration_is_tuple_order() {
+        let mut rel = Relation::new(1);
+        for i in [9i64, 1, 5, 3] {
+            rel.insert(&r(&[i]));
+        }
+        let sorted: Vec<i64> = rel
+            .iter_sorted()
+            .map(|row| match row[0] {
+                Const::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sorted, vec![1, 3, 5, 9]);
+        // Id order is insertion order.
+        let by_id: Vec<i64> = rel
+            .rows()
+            .map(|row| match row[0] {
+                Const::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(by_id, vec![9, 1, 5, 3]);
+    }
+
+    #[test]
+    fn remove_swaps_last_row_in() {
+        let mut rel = Relation::new(1);
+        for i in 0..5i64 {
+            rel.insert(&r(&[i]));
+        }
+        assert!(rel.remove(&r(&[1])));
+        assert!(!rel.remove(&r(&[1])), "double remove");
+        assert_eq!(rel.len(), 4);
+        // Row 4 moved into slot 1; all survivors still found by content.
+        for i in [0i64, 2, 3, 4] {
+            assert!(rel.contains(&r(&[i])), "lost {i}");
+        }
+        assert_eq!(rel.find(&r(&[4])), Some(1));
+        // Remove the (new) last row: no swap needed.
+        assert!(rel.remove(&r(&[3])));
+        assert_eq!(rel.len(), 3);
+        assert!(!rel.contains(&r(&[3])));
+    }
+
+    #[test]
+    fn arity_zero_holds_one_row() {
+        let mut rel = Relation::new(0);
+        assert!(rel.is_empty());
+        assert_eq!(rel.insert(&[]), Some(0));
+        assert_eq!(rel.insert(&[]), None);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0), &[] as &[Const]);
+        assert!(rel.remove(&[]));
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let mut a = Relation::new(1);
+        a.insert(&r(&[1]));
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        // Duplicate insert must not unshare.
+        a.insert(&r(&[1]));
+        assert!(a.shares_storage_with(&b));
+        a.insert(&r(&[2]));
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(b.len(), 1, "snapshot unaffected by later writes");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let mut a = Relation::new(1);
+        let mut b = Relation::new(1);
+        for i in [1i64, 2, 3] {
+            a.insert(&r(&[i]));
+        }
+        for i in [3i64, 1, 2] {
+            b.insert(&r(&[i]));
+        }
+        assert_eq!(a, b);
+        b.remove(&r(&[2]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_row_distinguishes_const_kinds() {
+        // Same payload, different kind must not collide (trivially).
+        let kinds = [
+            Const::Int(7),
+            Const::Sym(crate::Sym::new("seven-test")),
+            Const::Frozen(Var::new("X7")),
+            Const::Null(7),
+        ];
+        let hashes: std::collections::BTreeSet<u64> =
+            kinds.iter().map(|&c| hash_row(&[c])).collect();
+        assert_eq!(hashes.len(), kinds.len());
+        // Length participates: [] vs [Int(0)] vs [Int(0), Int(0)].
+        let h0 = hash_row(&[]);
+        let h1 = hash_row(&[Const::Int(0)]);
+        let h2 = hash_row(&[Const::Int(0), Const::Int(0)]);
+        assert!(h0 != h1 && h1 != h2 && h0 != h2);
+    }
+}

@@ -61,10 +61,18 @@ impl Sym {
         Sym(guard.intern(name))
     }
 
-    /// The interned string for this symbol.
+    /// The interned string for this symbol, as an owned copy. Prefer
+    /// [`Sym::with_str`] in hot paths — this clones on every call.
     pub fn as_str(&self) -> String {
+        self.with_str(str::to_owned)
+    }
+
+    /// Run `f` on the interned string without cloning it. The read lock is
+    /// held while `f` runs, so `f` must not intern new symbols (interning
+    /// takes the write lock and would deadlock); keep `f` small.
+    pub fn with_str<R>(&self, f: impl FnOnce(&str) -> R) -> R {
         let guard = interner().read().expect("interner lock poisoned");
-        guard.names[self.0 as usize].clone()
+        f(&guard.names[self.0 as usize])
     }
 
     /// Raw id; stable within a process run.
@@ -75,13 +83,13 @@ impl Sym {
 
 impl fmt::Debug for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Sym({:?})", self.as_str())
+        self.with_str(|s| write!(f, "Sym({s:?})"))
     }
 }
 
 impl fmt::Display for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        self.with_str(|s| f.write_str(s))
     }
 }
 
@@ -101,14 +109,21 @@ impl Pred {
         Pred(Sym::new(name))
     }
 
+    /// Owned copy of the predicate name. Prefer [`Pred::with_name`] in hot
+    /// display/lint paths.
     pub fn name(&self) -> String {
         self.0.as_str()
+    }
+
+    /// Run `f` on the predicate name without cloning it.
+    pub fn with_name<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        self.0.with_str(f)
     }
 }
 
 impl fmt::Debug for Pred {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Pred({:?})", self.0.as_str())
+        self.0.with_str(|s| write!(f, "Pred({s:?})"))
     }
 }
 
@@ -133,8 +148,15 @@ impl Var {
         Var(Sym::new(name))
     }
 
+    /// Owned copy of the variable name. Prefer [`Var::with_name`] in hot
+    /// display paths.
     pub fn name(&self) -> String {
         self.0.as_str()
+    }
+
+    /// Run `f` on the variable name without cloning it.
+    pub fn with_name<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        self.0.with_str(f)
     }
 
     /// A variable guaranteed distinct from any source-level variable:
@@ -146,7 +168,7 @@ impl Var {
 
 impl fmt::Debug for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Var({:?})", self.0.as_str())
+        self.0.with_str(|s| write!(f, "Var({s:?})"))
     }
 }
 

@@ -1,15 +1,18 @@
-//! Regenerate every experiment of EXPERIMENTS.md (E1–E16) and print
+//! Regenerate every experiment of EXPERIMENTS.md (E1–E17) and print
 //! paper-claim vs. measured rows. Also writes `experiments.json` with the
-//! raw series so the tables can be rebuilt mechanically.
+//! raw series, plus one `BENCH_<experiment>.json` file and matching
+//! machine-readable `BENCH_<experiment>.json {...}` stdout line per
+//! perf-trajectory experiment (E16, E17), so CI logs and committed
+//! artifacts track regressions across PRs.
 //!
 //! Run with: `cargo run -p datalog-bench --bin experiments --release`
 //!
 //! Flags:
 //! * `--only-e16` — run only the E16 evaluation-engine experiment (the CI
 //!   smoke target).
-//! * `--smoke` — shrink E16's workloads and skip its wall-time acceptance
-//!   check, so shared CI runners only verify correctness and the
-//!   zero-rebuild invariant.
+//! * `--only-e17` — run only the E17 storage-layer microbenchmark.
+//! * `--smoke` — shrink E16/E17 workloads and skip wall-time acceptance
+//!   checks, so shared CI runners only verify correctness invariants.
 
 use datalog_ast::{fact, parse_atom, parse_database, parse_program, parse_tgds, Program};
 use datalog_bench::{guarded_tc, portable_source, standard_edb, wide_rule, Row};
@@ -59,9 +62,13 @@ impl Report {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let only_e16 = args.iter().any(|a| a == "--only-e16");
+    let only_e17 = args.iter().any(|a| a == "--only-e17");
     let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(unknown) = args.iter().find(|a| *a != "--only-e16" && *a != "--smoke") {
-        eprintln!("unknown flag {unknown}; supported: --only-e16 --smoke");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--only-e16" && *a != "--only-e17" && *a != "--smoke")
+    {
+        eprintln!("unknown flag {unknown}; supported: --only-e16 --only-e17 --smoke");
         std::process::exit(2);
     }
     let mut r = Report {
@@ -69,16 +76,43 @@ fn main() {
         failures: 0,
     };
 
-    if !only_e16 {
+    let run_all = !only_e16 && !only_e17;
+    if run_all {
         e1_to_e15(&mut r);
     }
-    e16(&mut r, smoke);
+    if run_all || only_e16 {
+        e16(&mut r, smoke);
+    }
+    if run_all || only_e17 {
+        e17(&mut r, smoke);
+    }
 
     // Persist raw rows.
     let json =
         datalog_json::Value::Array(r.rows.iter().map(|row| row.to_json()).collect()).to_pretty();
     std::fs::write("experiments.json", &json).expect("write experiments.json");
     println!("\n{} rows written to experiments.json", r.rows.len());
+
+    // One compact machine-readable artifact + stdout line per
+    // perf-trajectory experiment, so CI logs can be grepped for `BENCH_`
+    // and the files can be committed to track regressions across PRs.
+    const TRACKED: [&str; 2] = ["E16", "E17"];
+    let mut by_experiment: std::collections::BTreeMap<&str, Vec<&Row>> = Default::default();
+    for row in &r.rows {
+        if TRACKED.contains(&row.experiment.as_str()) {
+            by_experiment
+                .entry(row.experiment.as_str())
+                .or_default()
+                .push(row);
+        }
+    }
+    for (experiment, rows) in by_experiment {
+        let json =
+            datalog_json::Value::Array(rows.iter().map(|row| row.to_json()).collect()).to_compact();
+        let file = format!("BENCH_{experiment}.json");
+        println!("{file} {json}");
+        std::fs::write(&file, format!("{json}\n")).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    }
 
     if r.failures > 0 {
         println!("{} CHECK(S) FAILED", r.failures);
@@ -617,5 +651,198 @@ fn e16(r: &mut Report, smoke: bool) {
                 t_rebuild / t_par >= 2.0,
             );
         }
+    }
+}
+
+/// E17 — columnar arena storage microbenchmark.
+///
+/// Isolates the storage layer introduced with [`datalog_ast::Relation`]:
+///
+/// * `insert` — raw insert+dedup throughput of the arena-backed
+///   [`Relation`] vs the seed representation (`BTreeSet<Box<[Const]>>`) on
+///   a duplicate-heavy row stream;
+/// * `alloc`  — allocation accounting of a full semi-naive fixpoint:
+///   `Stats::tuples_allocated` must equal the fixpoint cardinality (every
+///   row is arena-committed exactly once) and `Stats::arena_bytes` must be
+///   the exact columnar footprint of those rows;
+/// * `snapshot` — publication cost: cloning a materialized [`Database`] is
+///   O(1) `Arc` bumps (arenas shared, verified structurally), against a
+///   deep per-tuple rebuild of the same database.
+fn e17(r: &mut Report, smoke: bool) {
+    use datalog_ast::{Const, Database, GroundAtom, Pred, Relation};
+    use std::collections::BTreeSet;
+
+    println!("== E17: columnar arena storage ==");
+
+    // -- insert+dedup throughput --------------------------------------
+    // A deterministic duplicate-heavy stream (LCG over a small key space:
+    // roughly half the inserts are dedup hits, as in a fixpoint's later
+    // rounds).
+    let rows_n: usize = if smoke { 20_000 } else { 200_000 };
+    let mut stream = Vec::with_capacity(rows_n);
+    let mut state: u64 = 0x243F_6A88_85A3_08D3;
+    for _ in 0..rows_n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = (state >> 33) % (rows_n as u64 / 3).max(1);
+        let b = (state >> 13) % 3;
+        stream.push([Const::Int(a as i64), Const::Int(b as i64)]);
+    }
+    let t_arena = ms(
+        || {
+            let mut rel = Relation::new(2);
+            for row in &stream {
+                rel.insert(row);
+            }
+        },
+        if smoke { 1 } else { 3 },
+    );
+    let t_boxed = ms(
+        || {
+            let mut set: BTreeSet<Box<[Const]>> = BTreeSet::new();
+            for row in &stream {
+                if !set.contains(row.as_slice()) {
+                    set.insert(row.as_slice().into());
+                }
+            }
+        },
+        if smoke { 1 } else { 3 },
+    );
+    let mut rel = Relation::new(2);
+    let mut set: BTreeSet<Box<[Const]>> = BTreeSet::new();
+    for row in &stream {
+        rel.insert(row);
+        set.insert(row.as_slice().into());
+    }
+    r.check(
+        "E17",
+        &format!(
+            "insert: arena and boxed-set dedup agree ({} distinct of {} inserts)",
+            rel.len(),
+            rows_n
+        ),
+        rel.len() == set.len() && rel.iter_sorted().eq(set.iter().map(|b| &**b)),
+    );
+    r.row(Row::new(
+        "E17",
+        "dup-stream",
+        "arena-insert",
+        rows_n as u64,
+        t_arena,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E17",
+        "dup-stream",
+        "boxed-insert",
+        rows_n as u64,
+        t_boxed,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E17",
+        "dup-stream",
+        "speedup-insert",
+        rows_n as u64,
+        t_boxed / t_arena,
+        "x",
+    ));
+
+    // -- allocation accounting over a fixpoint ------------------------
+    let n = if smoke { 48 } else { 96 };
+    let program = bloated_tc(6, 99);
+    let db = standard_edb("cycle", n);
+    let (out, stats) = seminaive::evaluate_with_stats(&program, &db);
+    let const_bytes = std::mem::size_of::<Const>() as u64;
+    r.check(
+        "E17",
+        &format!(
+            "alloc: tuples_allocated {} equals fixpoint cardinality {} (cycle{n})",
+            stats.tuples_allocated,
+            out.len()
+        ),
+        stats.tuples_allocated == out.len() as u64,
+    );
+    r.check(
+        "E17",
+        &format!(
+            "alloc: arena_bytes {} is the exact columnar footprint",
+            stats.arena_bytes
+        ),
+        stats.arena_bytes == stats.tuples_allocated * 2 * const_bytes,
+    );
+    r.row(Row::new(
+        "E17",
+        &format!("bloated6-cycle{n}"),
+        "tuples-allocated",
+        n as u64,
+        stats.tuples_allocated as f64,
+        "rows",
+    ));
+    r.row(Row::new(
+        "E17",
+        &format!("bloated6-cycle{n}"),
+        "arena-bytes",
+        n as u64,
+        stats.arena_bytes as f64,
+        "bytes",
+    ));
+
+    // -- snapshot publication -----------------------------------------
+    let t_clone = ms(
+        || {
+            std::hint::black_box(out.clone());
+        },
+        if smoke { 100 } else { 1000 },
+    );
+    let t_deep = ms(
+        || {
+            let mut copy = Database::new();
+            for atom in out.iter() {
+                copy.insert(GroundAtom::new(atom.pred, atom.tuple.clone()));
+            }
+            std::hint::black_box(copy);
+        },
+        if smoke { 1 } else { 3 },
+    );
+    let snap = out.clone();
+    let g = Pred::new("g");
+    let shares = out
+        .relations_of(g)
+        .iter()
+        .zip(snap.relations_of(g))
+        .all(|(a, b)| a.shares_storage_with(b));
+    r.check(
+        "E17",
+        "snapshot: cloned database shares its arenas (O(1) publication)",
+        shares && snap == out,
+    );
+    r.row(Row::new(
+        "E17",
+        &format!("bloated6-cycle{n}"),
+        "snapshot-clone",
+        out.len() as u64,
+        t_clone,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E17",
+        &format!("bloated6-cycle{n}"),
+        "deep-copy",
+        out.len() as u64,
+        t_deep,
+        "ms",
+    ));
+    if !smoke {
+        r.check(
+            "E17",
+            &format!(
+                "snapshot: arena-sharing clone ≥ 100x cheaper than a deep rebuild \
+                 ({:.4}ms vs {:.2}ms)",
+                t_clone, t_deep
+            ),
+            t_deep / t_clone >= 100.0,
+        );
     }
 }

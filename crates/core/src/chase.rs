@@ -90,7 +90,7 @@ pub(crate) fn for_each_match(
         for tuple in db.relation(pattern.pred) {
             let g = GroundAtom {
                 pred: pattern.pred,
-                tuple: tuple.clone(),
+                tuple: tuple.into(),
             };
             let mut s = subst.clone();
             if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, db, &s, found) {

@@ -5,29 +5,37 @@
 //! but threw the physical half away: every fixpoint round rebuilt every
 //! `(predicate, bound-positions)` hash index from scratch and recomputed
 //! every rule's greedy join order once per delta position. [`EvalContext`]
-//! fixes both:
+//! fixes both, and since the columnar-storage work it does so without
+//! copying tuples at all:
 //!
-//! * **Incremental indexes.** The context owns an [`IndexStore`] of
-//!   per-`(pred, positions)` hash indexes that live across fixpoint
-//!   rounds. After each round the freshly derived delta tuples are
-//!   *appended* into every live index ([`Stats::index_appends`]) instead
-//!   of discarding and rebuilding; an index is built at most once per
-//!   pattern per context ([`Stats::index_builds`]). The invariant: **every
-//!   mutation of the context database flows through the context**, so the
-//!   store always mirrors the database exactly (deletions conservatively
-//!   clear the store; it re-fills lazily).
+//! * **Incremental row-id indexes.** The context owns an [`IndexStore`] of
+//!   per-`(pred, arity, positions)` postings lists that live across
+//!   fixpoint rounds: a map from the *hash* of the projected key to the
+//!   `u32` row-ids carrying it in the database's arena ([`Relation`]).
+//!   Indexes hold ids, not tuples, so building one is a scan without
+//!   allocation-per-row and appending a derived row is pushing one `u32`
+//!   per live index ([`Stats::index_appends`]); an index is built at most
+//!   once per pattern per context ([`Stats::index_builds`]). The
+//!   invariant: **every mutation of the context database flows through the
+//!   context**, so ids always resolve against the exact arena they were
+//!   taken from (insertions are append-only and keep ids stable; deletions
+//!   conservatively clear the store, which re-fills lazily).
 //!
 //! * **Compiled join scripts.** Because the variable-binding pattern of a
 //!   join is fully determined by the rule plan and the atom order, each
 //!   `(rule, order)` pair compiles once per round into a [`JoinScript`]
 //!   whose steps know statically which index to probe, how to build the
 //!   probe key, and which tuple positions bind which variable slots. The
-//!   executor borrows matching tuples straight out of the index — the seed
-//!   path cloned every candidate list on every probe.
+//!   executor reads candidate rows as arena slices — no candidate list is
+//!   cloned, and a derived head allocates only when it is genuinely new
+//!   (the per-round `seen` dedup is itself an arena-backed [`Relation`]).
+//!   Probing by key *hash* admits collisions; each candidate row is
+//!   verified against the key sources before binding, so a collision costs
+//!   one slice compare and never a wrong answer.
 //!
 //! * **Parallel rounds.** With `EvalOptions::threads > 1`, the per-round
 //!   `(rule × delta-position)` work items — further sharded by striding
-//!   the first join step's tuple list, so even a single recursive rule
+//!   the first join step's postings list, so even a single recursive rule
 //!   parallelises — are dispatched to a shared [`crate::pool::ThreadPool`]
 //!   against a read-only snapshot of the indexes. Derived tuples merge
 //!   through the existing set-semantics dedup, so the result is
@@ -40,8 +48,8 @@
 use crate::plan::{RulePlan, Slot};
 use crate::pool::ThreadPool;
 use crate::stats::Stats;
-use datalog_ast::{Const, Database, GroundAtom, Pred, Program, Tuple};
-use std::collections::{HashMap, HashSet};
+use datalog_ast::{hash_row, Const, Database, GroundAtom, Pred, Program, Relation, RowHashMap};
+use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
 
 /// Evaluation tuning knobs.
@@ -75,75 +83,98 @@ impl Default for EvalOptions {
     }
 }
 
-/// One hash index: projection on a fixed position list → matching tuples.
-type Index = HashMap<Vec<Const>, Vec<Tuple>>;
+/// One hash index: hash of the projection on a fixed position list → the
+/// row-ids whose projection carries that hash (collisions possible; the
+/// executor verifies candidates against the actual key).
+type Index = RowHashMap<Vec<u32>>;
 
-/// Owned, incrementally-maintained indexes over a database.
+/// Project `row` onto `positions` into `key_buf` and hash the result.
+#[inline]
+fn project_hash(key_buf: &mut Vec<Const>, row: &[Const], positions: &[usize]) -> u64 {
+    key_buf.clear();
+    key_buf.extend(positions.iter().map(|&i| row[i]));
+    hash_row(key_buf)
+}
+
+/// The per-`(pred, arity)` index group: one [`Index`] per bound-position
+/// pattern ever probed.
+type IndexGroup = HashMap<Box<[usize]>, Index>;
+
+/// Owned, incrementally-maintained row-id indexes over a database.
 ///
-/// Unlike [`crate::plan::IndexSet`] (which borrows a database snapshot and
-/// dies with the round), the store owns its tuples and survives rounds:
-/// new tuples are appended, never re-scanned.
+/// Unlike [`crate::plan::IndexSet`] (which borrows a database snapshot,
+/// copies candidate tuples, and dies with the round), the store holds only
+/// `u32` ids into the database's arenas and survives rounds: new rows are
+/// appended, never re-scanned. Ids are valid against the exact database
+/// the store was ensured/absorbed from.
 #[derive(Clone, Debug, Default)]
 struct IndexStore {
-    map: HashMap<Pred, HashMap<Box<[usize]>, Index>>,
+    map: HashMap<(Pred, usize), IndexGroup>,
 }
 
 impl IndexStore {
-    /// Build the `(pred, positions)` index from `db` if it does not exist
-    /// yet. Returns whether a build happened.
-    fn ensure(&mut self, db: &Database, pred: Pred, positions: &[usize]) -> bool {
-        let by_pos = self.map.entry(pred).or_default();
+    /// Build the `(pred, arity, positions)` index from `db` if it does not
+    /// exist yet. Returns whether a build happened.
+    fn ensure(&mut self, db: &Database, pred: Pred, arity: usize, positions: &[usize]) -> bool {
+        let by_pos = self.map.entry((pred, arity)).or_default();
         if by_pos.contains_key(positions) {
             return false;
         }
         let mut index = Index::default();
-        for t in db.relation(pred) {
-            let key: Vec<Const> = positions.iter().map(|&i| t[i]).collect();
-            index.entry(key).or_default().push(t.clone());
+        if let Some(rel) = db.relation_of(pred, arity) {
+            let mut key = Vec::with_capacity(positions.len());
+            for (id, row) in rel.iter_with_ids() {
+                let h = project_hash(&mut key, row, positions);
+                index.entry(h).or_default().push(id);
+            }
         }
         by_pos.insert(positions.into(), index);
         true
     }
 
-    /// Tuples of `pred` whose projection on `positions` equals `key`.
-    /// The index must have been [`IndexStore::ensure`]d.
-    fn probe(&self, pred: Pred, positions: &[usize], key: &[Const]) -> &[Tuple] {
+    /// Row-ids of `pred`/`arity` whose projection on `positions` hashes to
+    /// `hash`. The index must have been [`IndexStore::ensure`]d.
+    fn probe(&self, pred: Pred, arity: usize, positions: &[usize], hash: u64) -> &[u32] {
         debug_assert!(
             self.map
-                .get(&pred)
+                .get(&(pred, arity))
                 .is_some_and(|m| m.contains_key(positions)),
-            "probe of an index that was never ensured: {pred:?} {positions:?}"
+            "probe of an index that was never ensured: {pred:?}/{arity} {positions:?}"
         );
         self.map
-            .get(&pred)
+            .get(&(pred, arity))
             .and_then(|m| m.get(positions))
-            .and_then(|idx| idx.get(key))
+            .and_then(|idx| idx.get(&hash))
             .map_or(&[], Vec::as_slice)
     }
 
-    /// Append `delta`'s tuples into every live index of their predicate.
-    /// Callers guarantee the tuples are new w.r.t. the indexed database
-    /// (the semi-naive discipline), so this never introduces duplicates.
-    /// Returns the number of (tuple, index) appends performed.
-    fn absorb(&mut self, delta: &Database) -> u64 {
+    /// Append freshly inserted rows (given as `(pred, arity, row-id)`, ids
+    /// valid in `db`) into every live index of their predicate. Callers
+    /// guarantee the rows are new w.r.t. the indexed database (the
+    /// semi-naive discipline), so this never introduces duplicates.
+    /// Returns the number of (row, index) appends performed.
+    fn absorb(&mut self, db: &Database, fresh: &[(Pred, usize, u32)]) -> u64 {
         let mut appends = 0;
-        for (&pred, by_pos) in self.map.iter_mut() {
-            if delta.relation_len(pred) == 0 {
+        let mut key = Vec::new();
+        for &(pred, arity, id) in fresh {
+            let Some(by_pos) = self.map.get_mut(&(pred, arity)) else {
                 continue;
-            }
+            };
+            let rel = db
+                .relation_of(pred, arity)
+                .expect("freshly inserted row has a relation");
+            let row = rel.row(id);
             for (positions, index) in by_pos.iter_mut() {
-                for t in delta.relation(pred) {
-                    let key: Vec<Const> = positions.iter().map(|&i| t[i]).collect();
-                    index.entry(key).or_default().push(t.clone());
-                    appends += 1;
-                }
+                let h = project_hash(&mut key, row, positions);
+                index.entry(h).or_default().push(id);
+                appends += 1;
             }
         }
         appends
     }
 
-    /// Drop every index (after a non-monotone mutation); they re-fill
-    /// lazily from the current database.
+    /// Drop every index (after a non-monotone mutation, which invalidates
+    /// row-ids); they re-fill lazily from the current database.
     fn clear(&mut self) {
         self.map.clear();
     }
@@ -174,6 +205,8 @@ struct Step {
     atom: usize,
     negated: bool,
     pred: Pred,
+    /// The atom's arity (selects the arena relation to read rows from).
+    arity: usize,
     /// Statically-bound argument positions (the index pattern).
     positions: Box<[usize]>,
     /// Sources of the probe key, one per bound position. For negated
@@ -216,6 +249,7 @@ fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
                 atom: atom_i,
                 negated: true,
                 pred: atom.pred,
+                arity: atom.slots.len(),
                 positions: Box::default(),
                 key: atom.slots.iter().map(|&s| keysrc(s)).collect(),
                 bind: Vec::new(),
@@ -250,6 +284,7 @@ fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
             atom: atom_i,
             negated: false,
             pred: atom.pred,
+            arity: atom.slots.len(),
             positions: positions.into(),
             key,
             bind,
@@ -265,7 +300,7 @@ fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
 }
 
 /// One schedulable unit: a script, optionally delta-restricted at one body
-/// atom, enumerating only every `stride`-th tuple (from `offset`) of the
+/// atom, enumerating only every `stride`-th row (from `offset`) of the
 /// first join step — the sharding that lets a single rule span workers.
 #[derive(Clone, Copy, Debug)]
 struct Task {
@@ -284,8 +319,9 @@ struct TaskOutput {
     /// anyway); the DRed overdeletion sweep must keep them.
     filter_known: bool,
     /// Head tuples already handled by this output (queued or known-old),
-    /// per head predicate: set-semantics dedup before allocation.
-    seen: HashMap<Pred, HashSet<Box<[Const]>>>,
+    /// per head predicate: set-semantics dedup before allocation, itself
+    /// arena-backed so a repeated head costs a hash probe, not a `Box`.
+    seen: HashMap<Pred, Relation>,
     /// Per-depth probe-key scratch buffers (no per-probe allocation).
     keys: Vec<Vec<Const>>,
     head_buf: Vec<Const>,
@@ -311,6 +347,7 @@ fn run_task(
     store: &IndexStore,
     delta_store: &IndexStore,
     db: &Database,
+    delta_db: &Database,
     out: &mut TaskOutput,
 ) {
     if out.keys.len() < script.steps.len() {
@@ -324,6 +361,7 @@ fn run_task(
         store,
         delta_store,
         db,
+        delta_db,
         &mut assignment,
         out,
     );
@@ -337,6 +375,7 @@ fn exec(
     store: &IndexStore,
     delta_store: &IndexStore,
     db: &Database,
+    delta_db: &Database,
     assignment: &mut Vec<Option<Const>>,
     out: &mut TaskOutput,
 ) {
@@ -349,20 +388,23 @@ fn exec(
         // Dedup before allocating: bloated programs re-derive the same
         // head many times per round, and the commit step would drop the
         // duplicates anyway. Known-old tuples are memoized into `seen` so
-        // repeats cost one hash probe, not a database lookup.
-        let seen = out.seen.entry(script.head_pred).or_default();
-        if seen.contains(out.head_buf.as_slice()) {
+        // repeats cost one hash probe, not a database lookup — and `seen`
+        // is an arena, so neither path allocates a per-tuple `Box`.
+        let head_arity = script.head.len();
+        let seen = out
+            .seen
+            .entry(script.head_pred)
+            .or_insert_with(|| Relation::new(head_arity));
+        if seen.contains(&out.head_buf) {
             return;
         }
-        let tuple: Box<[Const]> = out.head_buf.as_slice().into();
-        if out.filter_known && db.contains_tuple(script.head_pred, &tuple) {
-            seen.insert(tuple);
+        seen.insert(&out.head_buf);
+        if out.filter_known && db.contains_tuple(script.head_pred, &out.head_buf) {
             return;
         }
-        seen.insert(tuple.clone());
         out.derived.push(GroundAtom {
             pred: script.head_pred,
-            tuple,
+            tuple: out.head_buf.as_slice().into(),
         });
         return;
     };
@@ -383,6 +425,7 @@ fn exec(
                 store,
                 delta_store,
                 db,
+                delta_db,
                 assignment,
                 out,
             );
@@ -391,16 +434,20 @@ fn exec(
     }
 
     out.probes += 1;
-    let source = if task.delta_atom == Some(step.atom) {
-        delta_store
+    let delta_restricted = task.delta_atom == Some(step.atom);
+    let (source, rel) = if delta_restricted {
+        (delta_store, delta_db.relation_of(step.pred, step.arity))
     } else {
-        store
+        (store, db.relation_of(step.pred, step.arity))
     };
-    let rows = {
+    let Some(rel) = rel else {
+        return; // no rows at this predicate/arity — the join is empty here
+    };
+    let ids = {
         let key = &mut out.keys[depth];
         key.clear();
         key.extend(step.key.iter().map(|s| s.value(assignment)));
-        source.probe(step.pred, &step.positions, key)
+        source.probe(step.pred, step.arity, &step.positions, hash_row(key))
     };
     // Sharding applies to the first step only: each shard owns a strided
     // slice of the depth-0 candidates and the rest of the join is common.
@@ -409,7 +456,18 @@ fn exec(
     } else {
         (0, 1)
     };
-    for t in rows.iter().skip(skip).step_by(stride.max(1)) {
+    for &id in ids.iter().skip(skip).step_by(stride.max(1)) {
+        let t = rel.row(id);
+        // The postings list is keyed by hash; verify the candidate's
+        // projection against the actual key sources (collision safety).
+        if !step
+            .positions
+            .iter()
+            .zip(&step.key)
+            .all(|(&pos, src)| t[pos] == src.value(assignment))
+        {
+            continue;
+        }
         for &(pos, v) in &step.bind {
             assignment[v] = Some(t[pos]);
         }
@@ -425,6 +483,7 @@ fn exec(
                 store,
                 delta_store,
                 db,
+                delta_db,
                 assignment,
                 out,
             );
@@ -463,6 +522,8 @@ impl std::fmt::Debug for EvalContext {
     }
 }
 
+const CONST_BYTES: u64 = std::mem::size_of::<Const>() as u64;
+
 impl EvalContext {
     /// Compile `program` and take ownership of `input` as the starting
     /// database.
@@ -479,13 +540,23 @@ impl EvalContext {
         input: Database,
         opts: EvalOptions,
     ) -> EvalContext {
+        let mut stats = Stats::default();
+        // Seed the allocation counters with the rows the context starts
+        // from, so `tuples_allocated` reflects everything resident in the
+        // arenas, not just rows derived later.
+        for pred in input.predicates() {
+            for rel in input.relations_of(pred) {
+                stats.tuples_allocated += rel.len() as u64;
+                stats.arena_bytes += rel.len() as u64 * rel.arity() as u64 * CONST_BYTES;
+            }
+        }
         EvalContext {
             plans,
             db: Arc::new(input),
             store: Arc::new(IndexStore::default()),
             threads: opts.threads.max(1),
             pool: None,
-            stats: Stats::default(),
+            stats,
         }
     }
 
@@ -540,17 +611,20 @@ impl EvalContext {
     /// whether it was new. (Does not count as a derivation — used for
     /// externally asserted facts.)
     pub(crate) fn add_fact(&mut self, atom: GroundAtom) -> bool {
-        let mut single = Database::new();
-        single.insert(atom.clone());
-        if !Arc::make_mut(&mut self.db).insert(atom) {
+        let arity = atom.tuple.len();
+        let Some(id) = Arc::make_mut(&mut self.db).insert_row_id(atom.pred, &atom.tuple) else {
             return false;
-        }
-        self.stats.index_appends += Arc::make_mut(&mut self.store).absorb(&single);
+        };
+        self.stats.tuples_allocated += 1;
+        self.stats.arena_bytes += arity as u64 * CONST_BYTES;
+        self.stats.index_appends +=
+            Arc::make_mut(&mut self.store).absorb(&self.db, &[(atom.pred, arity, id)]);
         true
     }
 
     /// Remove atoms (non-monotone): the indexes are conservatively
-    /// invalidated and re-fill lazily from the shrunken database.
+    /// invalidated (row-ids are not stable across removals) and re-fill
+    /// lazily from the shrunken database.
     pub(crate) fn remove_atoms(&mut self, atoms: &Database) {
         let db = Arc::make_mut(&mut self.db);
         for atom in atoms.iter() {
@@ -590,22 +664,26 @@ impl EvalContext {
         self.run_round(rules, Some(delta), eligible, false)
     }
 
-    /// Insert `derived` atoms that are new, append them to the live
-    /// indexes, and return them as a delta database.
+    /// Insert `derived` atoms that are new, append their row-ids to the
+    /// live indexes, and return them as a delta database.
     fn commit(&mut self, derived: Vec<GroundAtom>) -> Database {
         let mut fresh = Database::new();
+        let mut fresh_ids: Vec<(Pred, usize, u32)> = Vec::new();
         {
             let db = Arc::make_mut(&mut self.db);
             for atom in derived {
-                if !db.contains(&atom) {
-                    db.insert(atom.clone());
+                let arity = atom.tuple.len();
+                if let Some(id) = db.insert_row_id(atom.pred, &atom.tuple) {
+                    fresh_ids.push((atom.pred, arity, id));
                     fresh.insert(atom);
                     self.stats.derivations += 1;
+                    self.stats.tuples_allocated += 1;
+                    self.stats.arena_bytes += arity as u64 * CONST_BYTES;
                 }
             }
         }
-        if !fresh.is_empty() {
-            self.stats.index_appends += Arc::make_mut(&mut self.store).absorb(&fresh);
+        if !fresh_ids.is_empty() {
+            self.stats.index_appends += Arc::make_mut(&mut self.store).absorb(&self.db, &fresh_ids);
         }
         fresh
     }
@@ -663,24 +741,28 @@ impl EvalContext {
             let store = Arc::make_mut(&mut self.store);
             for script in &scripts {
                 for step in &script.steps {
-                    if !step.negated && store.ensure(&self.db, step.pred, &step.positions) {
+                    if !step.negated
+                        && store.ensure(&self.db, step.pred, step.arity, &step.positions)
+                    {
                         self.stats.index_builds += 1;
                     }
                 }
             }
         }
         // Per-round delta-side indexes (ephemeral; not counted as builds).
+        // The delta database itself is cloned into an Arc — relations are
+        // Arc-shared, so this is a handful of refcount bumps — because the
+        // row-ids in the delta store must resolve against it on workers.
+        let delta_db: Arc<Database> = Arc::new(delta.cloned().unwrap_or_default());
         let mut delta_store = IndexStore::default();
-        if let Some(d) = delta {
-            for &(s, pos) in &items {
-                if let Some(p) = pos {
-                    let step = scripts[s]
-                        .steps
-                        .iter()
-                        .find(|st| st.atom == p)
-                        .expect("delta atom present in its own script");
-                    delta_store.ensure(d, step.pred, &step.positions);
-                }
+        for &(s, pos) in &items {
+            if let Some(p) = pos {
+                let step = scripts[s]
+                    .steps
+                    .iter()
+                    .find(|st| st.atom == p)
+                    .expect("delta atom present in its own script");
+                delta_store.ensure(&delta_db, step.pred, step.arity, &step.positions);
             }
         }
 
@@ -722,6 +804,7 @@ impl EvalContext {
                 let store = Arc::clone(&self.store);
                 let delta_store = Arc::clone(&delta_store);
                 let db = Arc::clone(&self.db);
+                let delta_db = Arc::clone(&delta_db);
                 pool.execute(move || {
                     let mut out = TaskOutput::new(filter_known);
                     run_task(
@@ -730,6 +813,7 @@ impl EvalContext {
                         &store,
                         &delta_store,
                         &db,
+                        &delta_db,
                         &mut out,
                     );
                     // Release the shared snapshots before reporting, so the
@@ -739,6 +823,7 @@ impl EvalContext {
                     drop(store);
                     drop(delta_store);
                     drop(db);
+                    drop(delta_db);
                     let _ = tx.send(out);
                 });
             }
@@ -762,6 +847,7 @@ impl EvalContext {
                     &self.store,
                     &delta_store,
                     &self.db,
+                    &delta_db,
                     &mut out,
                 );
             }
@@ -838,6 +924,7 @@ mod tests {
             // Logical work is partition-invariant.
             assert_eq!(par.stats().matches, seq.stats().matches);
             assert_eq!(par.stats().derivations, seq.stats().derivations);
+            assert_eq!(par.stats().tuples_allocated, seq.stats().tuples_allocated);
             assert_eq!(par.into_database(), *seq.database());
         }
     }
@@ -880,5 +967,25 @@ mod tests {
             delta = cx.delta_round(&[0, 1], &delta, &|_| true);
         }
         assert!(cx.database().contains(&datalog_ast::fact("g", [1, 3])));
+    }
+
+    #[test]
+    fn allocation_counters_track_arena_growth() {
+        let p = tc();
+        let edb = parse_database("a(1,2). a(2,3). a(3,4).").unwrap();
+        let mut cx = EvalContext::new(&p, edb, EvalOptions::sequential());
+        assert_eq!(cx.stats().tuples_allocated, 3, "seeded with the input");
+        saturate(&mut cx, &[0, 1]);
+        let stats = cx.stats();
+        let final_len = cx.database().len() as u64;
+        assert_eq!(
+            stats.tuples_allocated, final_len,
+            "monotone run: exactly one arena copy per resident tuple"
+        );
+        assert_eq!(
+            stats.arena_bytes,
+            final_len * 2 * CONST_BYTES,
+            "all relations here are binary"
+        );
     }
 }

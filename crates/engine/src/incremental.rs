@@ -288,7 +288,7 @@ fn body_satisfiable(
             stats.probes += 1;
             let g = GroundAtom {
                 pred: pattern.pred,
-                tuple: tuple.clone(),
+                tuple: tuple.into(),
             };
             let mut s = subst.clone();
             if datalog_ast::match_atom_into(&pattern, &g, &mut s) && rec(rest, &s, db, stats) {

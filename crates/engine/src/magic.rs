@@ -250,7 +250,7 @@ pub fn answer_with_stats(
         // AND repeated variables (e.g. `g(X, X)`) consistently.
         let g = GroundAtom {
             pred: query.pred,
-            tuple: tuple.clone(),
+            tuple: tuple.into(),
         };
         if match_atom(query, &g).is_some() {
             answers.insert(g);
@@ -272,7 +272,7 @@ mod tests {
         for tuple in full.relation(query.pred) {
             let g = GroundAtom {
                 pred: query.pred,
-                tuple: tuple.clone(),
+                tuple: tuple.into(),
             };
             if match_atom(query, &g).is_some() {
                 out.insert(g);

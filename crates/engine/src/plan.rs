@@ -162,7 +162,7 @@ type IndexKey = (Pred, Vec<usize>);
 /// Indices are built lazily because most rules only probe a few patterns.
 pub struct IndexSet<'db> {
     db: &'db Database,
-    indices: HashMap<IndexKey, HashMap<Vec<Const>, Vec<&'db Tuple>>>,
+    indices: HashMap<IndexKey, HashMap<Vec<Const>, Vec<&'db [Const]>>>,
     /// Number of index probes performed — the "joins done during the
     /// evaluation" measure of §I, reported by [`crate::Stats`].
     pub probes: u64,
@@ -187,7 +187,7 @@ impl<'db> IndexSet<'db> {
     }
 
     /// Tuples of `pred` whose projection on `positions` equals `key`.
-    pub fn probe(&mut self, pred: Pred, positions: &[usize], key: &[Const]) -> &[&'db Tuple] {
+    pub fn probe(&mut self, pred: Pred, positions: &[usize], key: &[Const]) -> &[&'db [Const]] {
         self.probes += 1;
         if positions.is_empty() {
             // Full scan; cache under the empty position list with unit key.
@@ -195,7 +195,7 @@ impl<'db> IndexSet<'db> {
             let builds = &mut self.builds;
             let entry = self.indices.entry((pred, Vec::new())).or_insert_with(|| {
                 *builds += 1;
-                let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
+                let mut m: HashMap<Vec<Const>, Vec<&'db [Const]>> = HashMap::new();
                 m.insert(Vec::new(), db.relation(pred).collect());
                 m
             });
@@ -208,7 +208,7 @@ impl<'db> IndexSet<'db> {
             .entry((pred, positions.to_vec()))
             .or_insert_with(|| {
                 *builds += 1;
-                let mut m: HashMap<Vec<Const>, Vec<&'db Tuple>> = HashMap::new();
+                let mut m: HashMap<Vec<Const>, Vec<&'db [Const]>> = HashMap::new();
                 for t in db.relation(pred) {
                     let k: Vec<Const> = positions.iter().map(|&i| t[i]).collect();
                     m.entry(k).or_default().push(t);
@@ -305,12 +305,12 @@ fn join_rec<F: FnMut(&[Option<Const>])>(
         let (_, didx) = delta_idx.as_mut().expect("checked above");
         didx.probe(atom.pred, &positions, &key)
             .iter()
-            .map(|&t| t.clone())
+            .map(|&t| Tuple::from(t))
             .collect()
     } else {
         idx.probe(atom.pred, &positions, &key)
             .iter()
-            .map(|&t| t.clone())
+            .map(|&t| Tuple::from(t))
             .collect()
     };
 

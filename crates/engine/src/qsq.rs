@@ -130,7 +130,7 @@ impl<'p> QsqState<'p> {
                     .iter()
                     .filter(|((p, _), _)| *p == atom.pred)
                     .flat_map(|(_, set)| set.iter().cloned())
-                    .chain(self.edb.relation(atom.pred).cloned())
+                    .chain(self.edb.relation(atom.pred).map(Tuple::from))
                     .collect();
                 for tuple in tuples {
                     self.stats.probes += 1;
@@ -150,7 +150,7 @@ impl<'p> QsqState<'p> {
                     self.stats.probes += 1;
                     let g = GroundAtom {
                         pred: atom.pred,
-                        tuple: tuple.clone(),
+                        tuple: tuple.into(),
                     };
                     let mut s2 = s.clone();
                     if datalog_ast::match_atom_into(&pattern, &g, &mut s2) {
@@ -208,11 +208,11 @@ pub fn answer_with_stats(program: &Program, edb: &Database, query: &Atom) -> (Da
         .ans
         .iter()
         .filter(|((p, _), _)| *p == query.pred)
-        .flat_map(|(_, tuples)| tuples.iter());
+        .flat_map(|(_, tuples)| tuples.iter().map(|t| &**t));
     for tuple in memoized.chain(edb.relation(query.pred)) {
         let g = GroundAtom {
             pred: query.pred,
-            tuple: tuple.clone(),
+            tuple: tuple.into(),
         };
         if datalog_ast::match_atom(query, &g).is_some() {
             out.insert(g);
@@ -276,7 +276,7 @@ mod tests {
             .filter(|t| t[0] == Const::Int(1))
             .map(|t| GroundAtom {
                 pred: Pred::new("sg"),
-                tuple: t.clone(),
+                tuple: t.into(),
             })
             .collect();
         assert_eq!(got, expected);
@@ -337,7 +337,7 @@ mod tests {
             .filter(|t| t[0] == t[1])
             .map(|t| GroundAtom {
                 pred: Pred::new("g"),
-                tuple: t.clone(),
+                tuple: t.into(),
             })
             .collect();
         assert_eq!(got, expected);

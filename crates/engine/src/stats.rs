@@ -35,6 +35,14 @@ pub struct Stats {
     /// Number of join work items dispatched to worker threads (0 for a
     /// fully sequential evaluation).
     pub parallel_tasks: u64,
+    /// Number of tuples copied into columnar arena storage (input rows
+    /// plus genuinely new derivations). Monotone: removals do not
+    /// decrement — this counts allocation work, not live rows.
+    pub tuples_allocated: u64,
+    /// Bytes of constants appended into row arenas
+    /// (`tuples_allocated`-weighted by arity). Monotone, like
+    /// `tuples_allocated`.
+    pub arena_bytes: u64,
 }
 
 impl AddAssign for Stats {
@@ -46,6 +54,8 @@ impl AddAssign for Stats {
         self.index_builds += rhs.index_builds;
         self.index_appends += rhs.index_appends;
         self.parallel_tasks += rhs.parallel_tasks;
+        self.tuples_allocated += rhs.tuples_allocated;
+        self.arena_bytes += rhs.arena_bytes;
     }
 }
 
@@ -63,6 +73,8 @@ impl Sub for Stats {
             index_builds: self.index_builds.saturating_sub(rhs.index_builds),
             index_appends: self.index_appends.saturating_sub(rhs.index_appends),
             parallel_tasks: self.parallel_tasks.saturating_sub(rhs.parallel_tasks),
+            tuples_allocated: self.tuples_allocated.saturating_sub(rhs.tuples_allocated),
+            arena_bytes: self.arena_bytes.saturating_sub(rhs.arena_bytes),
         }
     }
 }
@@ -71,14 +83,16 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={}",
+            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={} tuples_allocated={} arena_bytes={}",
             self.iterations,
             self.probes,
             self.matches,
             self.derivations,
             self.index_builds,
             self.index_appends,
-            self.parallel_tasks
+            self.parallel_tasks,
+            self.tuples_allocated,
+            self.arena_bytes
         )
     }
 }
@@ -97,6 +111,8 @@ mod tests {
             index_builds: 2,
             index_appends: 7,
             parallel_tasks: 4,
+            tuples_allocated: 20,
+            arena_bytes: 320,
         };
         a += Stats {
             iterations: 2,
@@ -106,6 +122,8 @@ mod tests {
             index_builds: 1,
             index_appends: 1,
             parallel_tasks: 1,
+            tuples_allocated: 2,
+            arena_bytes: 32,
         };
         assert_eq!(
             a,
@@ -117,6 +135,8 @@ mod tests {
                 index_builds: 3,
                 index_appends: 8,
                 parallel_tasks: 5,
+                tuples_allocated: 22,
+                arena_bytes: 352,
             }
         );
     }
@@ -131,6 +151,8 @@ mod tests {
             index_builds: 3,
             index_appends: 8,
             parallel_tasks: 5,
+            tuples_allocated: 22,
+            arena_bytes: 352,
         };
         let b = Stats {
             iterations: 1,
@@ -140,8 +162,12 @@ mod tests {
             index_builds: 2,
             index_appends: 7,
             parallel_tasks: 4,
+            tuples_allocated: 20,
+            arena_bytes: 320,
         };
         let d = a - b;
+        assert_eq!(d.tuples_allocated, 2);
+        assert_eq!(d.arena_bytes, 32);
         assert_eq!(d.iterations, 2);
         assert_eq!(d.probes, 1);
         assert_eq!(d.index_appends, 1);
@@ -160,7 +186,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0"
+            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0 tuples_allocated=0 arena_bytes=0"
         );
     }
 }

@@ -113,6 +113,7 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
         if let Some(slot) = report.cases_run.iter_mut().find(|(f, _)| *f == family) {
             slot.1 += 1;
         }
+        report.eval += oracles::reference_stats(&case);
         let divergences = oracles::check(&case);
         if divergences.is_empty() {
             continue;
@@ -160,6 +161,9 @@ mod tests {
         });
         assert_eq!(report.total_cases(), 9);
         assert_eq!(report.cases_run.len(), 3);
+        // The reference evaluations' storage work is folded into the report.
+        assert!(report.eval.tuples_allocated > 0);
+        assert!(report.eval.arena_bytes > 0);
     }
 
     #[test]

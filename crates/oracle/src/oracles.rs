@@ -23,7 +23,7 @@
 use crate::workload::{Case, Mutation};
 use datalog_ast::{match_atom, Atom, Database, GroundAtom, Program};
 use datalog_engine::Materialized;
-use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, EvalOptions};
+use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, EvalOptions, Stats};
 use datalog_optimizer::{minimize_program, minimize_program_in_order, uniformly_equivalent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,6 +90,22 @@ pub fn check(case: &Case) -> Vec<Divergence> {
     }
 }
 
+/// Evaluation work of the sequential reference fixpoint for `case` — the
+/// same evaluator every oracle compares against. Folded across a fuzzing
+/// run this surfaces the storage layer's allocation behaviour
+/// (`tuples_allocated`, `arena_bytes`) in the fuzz report.
+pub fn reference_stats(case: &Case) -> Stats {
+    let program = &case.program;
+    let db = &case.db;
+    if program.is_positive() {
+        seminaive::evaluate_with_opts(program, db, EvalOptions::sequential()).1
+    } else {
+        stratified::evaluate_with_opts(program, db, EvalOptions::sequential())
+            .map(|(_, stats)| stats)
+            .unwrap_or_default()
+    }
+}
+
 /// Render a compact sample of the symmetric difference between two
 /// databases, capped so reducer-sized repros stay readable.
 fn diff_sample(expected: &Database, got: &Database) -> String {
@@ -123,7 +139,7 @@ pub fn filtered_fixpoint(full: &Database, query: &Atom) -> Database {
     for tuple in full.relation(query.pred) {
         let g = GroundAtom {
             pred: query.pred,
-            tuple: tuple.clone(),
+            tuple: tuple.into(),
         };
         if match_atom(query, &g).is_some() {
             out.insert(g);

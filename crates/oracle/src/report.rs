@@ -1,6 +1,7 @@
 //! Fuzz-run reporting: counts per family, divergence details, JSON form.
 
 use crate::oracles::{Divergence, Family};
+use datalog_engine::Stats;
 use datalog_json::Value;
 use std::fmt;
 
@@ -30,6 +31,9 @@ pub struct FuzzReport {
     pub elapsed_ms: u64,
     /// True when the case budget was cut short by the time budget.
     pub budget_exhausted: bool,
+    /// Engine work of the sequential reference evaluation, folded across
+    /// every case run (see [`crate::oracles::reference_stats`]).
+    pub eval: Stats,
 }
 
 impl FuzzReport {
@@ -55,6 +59,20 @@ impl FuzzReport {
             ("total_cases", Value::Number(self.total_cases() as f64)),
             ("elapsed_ms", Value::Number(self.elapsed_ms as f64)),
             ("budget_exhausted", Value::Bool(self.budget_exhausted)),
+            (
+                "eval",
+                Value::object([
+                    ("iterations", Value::from(self.eval.iterations)),
+                    ("probes", Value::from(self.eval.probes)),
+                    ("matches", Value::from(self.eval.matches)),
+                    ("derivations", Value::from(self.eval.derivations)),
+                    ("index_builds", Value::from(self.eval.index_builds)),
+                    ("index_appends", Value::from(self.eval.index_appends)),
+                    ("parallel_tasks", Value::from(self.eval.parallel_tasks)),
+                    ("tuples_allocated", Value::from(self.eval.tuples_allocated)),
+                    ("arena_bytes", Value::from(self.eval.arena_bytes)),
+                ]),
+            ),
             (
                 "findings",
                 Value::Array(
@@ -106,6 +124,7 @@ impl fmt::Display for FuzzReport {
         if self.budget_exhausted {
             writeln!(f, "time budget exhausted before the case budget")?;
         }
+        writeln!(f, "reference eval: {}", self.eval)?;
         if self.findings.is_empty() {
             write!(f, "no divergences")?;
         } else {

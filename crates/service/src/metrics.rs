@@ -101,6 +101,8 @@ impl Metrics {
                     ("index_builds", Value::from(inner.eval.index_builds)),
                     ("index_appends", Value::from(inner.eval.index_appends)),
                     ("parallel_tasks", Value::from(inner.eval.parallel_tasks)),
+                    ("tuples_allocated", Value::from(inner.eval.tuples_allocated)),
+                    ("arena_bytes", Value::from(inner.eval.arena_bytes)),
                 ]),
             ),
             ("atoms_added", Value::from(inner.atoms_added)),
@@ -127,6 +129,8 @@ mod tests {
             index_builds: 4,
             index_appends: 9,
             parallel_tasks: 6,
+            tuples_allocated: 12,
+            arena_bytes: 192,
         });
         m.record_mutation(4, 1);
 
@@ -146,6 +150,8 @@ mod tests {
         assert_eq!(eval.get("index_builds").unwrap().as_u64(), Some(4));
         assert_eq!(eval.get("index_appends").unwrap().as_u64(), Some(9));
         assert_eq!(eval.get("parallel_tasks").unwrap().as_u64(), Some(6));
+        assert_eq!(eval.get("tuples_allocated").unwrap().as_u64(), Some(12));
+        assert_eq!(eval.get("arena_bytes").unwrap().as_u64(), Some(192));
         assert_eq!(j.get("atoms_added").unwrap().as_u64(), Some(4));
     }
 }

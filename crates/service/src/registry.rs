@@ -380,7 +380,7 @@ impl Registry {
         for tuple in snapshot.relation(pattern.pred) {
             let ground = GroundAtom {
                 pred: pattern.pred,
-                tuple: tuple.clone(),
+                tuple: tuple.into(),
             };
             if match_atom(&pattern, &ground).is_some() {
                 count += 1;

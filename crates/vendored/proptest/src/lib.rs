@@ -2,10 +2,12 @@
 //!
 //! The build environment for this workspace has no network access, so the
 //! subset of proptest the workspace's property tests use is re-implemented
-//! here: the [`Strategy`] trait, [`proptest!`], [`prop_assert!`],
-//! [`prop_assert_eq!`], [`prop_oneof!`], `any::<T>()`, ranges and tuples as
-//! strategies, `collection::vec`, `sample::select`, `sample::Index`, and a
-//! small regex-subset string strategy.
+//! here: the [`Strategy`] trait (with `prop_map` and `prop_flat_map`),
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`],
+//! [`prop_assert_ne!`], [`prop_oneof!`], `any::<T>()`, [`Just`], ranges and
+//! tuples as strategies, `collection::vec`, `bool::weighted`,
+//! `sample::select`, `sample::Index`, and a small regex-subset string
+//! strategy.
 //!
 //! Differences from upstream, deliberate for a test-only stand-in:
 //!
@@ -105,6 +107,16 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derive a dependent strategy from each generated value (upstream's
+    /// monadic bind). Without shrinking this is just "generate, then
+    /// generate again from the produced strategy".
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -118,6 +130,32 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn gen(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn gen(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.gen(rng)).gen(rng)
+    }
+}
+
+/// The constant strategy: always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
     }
 }
 
@@ -362,26 +400,83 @@ impl<V> Strategy for Union<V> {
 
 pub mod collection {
     use super::{Strategy, TestRng};
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: a fixed size, `lo..hi`, or
+    /// `lo..=hi` (upstream's `SizeRange` conversions).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        /// Exclusive upper bound.
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { start: *r.start(), end: *r.end() + 1 }
+        }
+    }
 
     /// The strategy returned by [`vec`].
     pub struct VecStrategy<S> {
         element: S,
-        len: Range<usize>,
+        len: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len = self.len.clone().gen(rng);
+            assert!(self.len.start < self.len.end, "empty vec length range");
+            let len = (self.len.start as u64
+                + rng.next_u64() % (self.len.end - self.len.start) as u64)
+                as usize;
             (0..len).map(|_| self.element.gen(rng)).collect()
         }
     }
 
     /// A vector of `len` elements drawn from `element`.
-    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn gen(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability
+        }
+    }
+
+    /// `true` with the given probability, `false` otherwise.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "weighted probability out of range"
+        );
+        Weighted { probability }
     }
 }
 
@@ -430,12 +525,14 @@ pub mod sample {
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 
-    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::weighted`,
+    /// `prop::sample::select`).
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
         pub use crate::sample;
     }
@@ -481,6 +578,33 @@ macro_rules! prop_assert_eq {
                 stringify!($right),
                 l,
                 r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+                stringify!($left),
+                stringify!($right),
+                l,
                 format!($($fmt)+)
             )));
         }

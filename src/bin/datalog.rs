@@ -786,7 +786,7 @@ fn repl_step(
         for tuple in m.database().relation(pattern.pred) {
             let g = GroundAtom {
                 pred: pattern.pred,
-                tuple: tuple.clone(),
+                tuple: tuple.into(),
             };
             if datalog_ast::match_atom(&pattern, &g).is_some() {
                 println!("{g}.");

@@ -150,7 +150,7 @@ proptest! {
         let mut expected = Database::new();
         for t in full.relation(Pred::new("g")) {
             if t[0] == Const::Int(src % n as i64) {
-                expected.insert(GroundAtom { pred: Pred::new("g"), tuple: t.clone() });
+                expected.insert(GroundAtom { pred: Pred::new("g"), tuple: t.into() });
             }
         }
         prop_assert_eq!(got, expected);
@@ -299,7 +299,7 @@ proptest! {
         let mut expected = Database::new();
         for t in full.relation(Pred::new("g")) {
             if t[0] == Const::Int(src % n as i64) {
-                expected.insert(GroundAtom { pred: Pred::new("g"), tuple: t.clone() });
+                expected.insert(GroundAtom { pred: Pred::new("g"), tuple: t.into() });
             }
         }
         prop_assert_eq!(via_qsq, expected);

@@ -1,8 +1,8 @@
-//! Regenerate every experiment of EXPERIMENTS.md (E1–E17) and print
+//! Regenerate every experiment of EXPERIMENTS.md (E1–E18) and print
 //! paper-claim vs. measured rows. Also writes `experiments.json` with the
 //! raw series, plus one `BENCH_<experiment>.json` file and matching
 //! machine-readable `BENCH_<experiment>.json {...}` stdout line per
-//! perf-trajectory experiment (E16, E17), so CI logs and committed
+//! perf-trajectory experiment (E16, E17, E18), so CI logs and committed
 //! artifacts track regressions across PRs.
 //!
 //! Run with: `cargo run -p datalog-bench --bin experiments --release`
@@ -11,8 +11,10 @@
 //! * `--only-e16` — run only the E16 evaluation-engine experiment (the CI
 //!   smoke target).
 //! * `--only-e17` — run only the E17 storage-layer microbenchmark.
-//! * `--smoke` — shrink E16/E17 workloads and skip wall-time acceptance
-//!   checks, so shared CI runners only verify correctness invariants.
+//! * `--only-e18` — run only the E18 point-query cache benchmark.
+//! * `--smoke` — shrink E16/E17/E18 workloads and skip wall-time
+//!   acceptance checks, so shared CI runners only verify correctness
+//!   invariants.
 
 use datalog_ast::{fact, parse_atom, parse_database, parse_program, parse_tgds, Program};
 use datalog_bench::{guarded_tc, portable_source, standard_edb, wide_rule, Row};
@@ -63,12 +65,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let only_e16 = args.iter().any(|a| a == "--only-e16");
     let only_e17 = args.iter().any(|a| a == "--only-e17");
+    let only_e18 = args.iter().any(|a| a == "--only-e18");
     let smoke = args.iter().any(|a| a == "--smoke");
     if let Some(unknown) = args
         .iter()
-        .find(|a| *a != "--only-e16" && *a != "--only-e17" && *a != "--smoke")
+        .find(|a| *a != "--only-e16" && *a != "--only-e17" && *a != "--only-e18" && *a != "--smoke")
     {
-        eprintln!("unknown flag {unknown}; supported: --only-e16 --only-e17 --smoke");
+        eprintln!("unknown flag {unknown}; supported: --only-e16 --only-e17 --only-e18 --smoke");
         std::process::exit(2);
     }
     let mut r = Report {
@@ -76,7 +79,7 @@ fn main() {
         failures: 0,
     };
 
-    let run_all = !only_e16 && !only_e17;
+    let run_all = !only_e16 && !only_e17 && !only_e18;
     if run_all {
         e1_to_e15(&mut r);
     }
@@ -85,6 +88,9 @@ fn main() {
     }
     if run_all || only_e17 {
         e17(&mut r, smoke);
+    }
+    if run_all || only_e18 {
+        e18(&mut r, smoke);
     }
 
     // Persist raw rows.
@@ -96,7 +102,7 @@ fn main() {
     // One compact machine-readable artifact + stdout line per
     // perf-trajectory experiment, so CI logs can be grepped for `BENCH_`
     // and the files can be committed to track regressions across PRs.
-    const TRACKED: [&str; 2] = ["E16", "E17"];
+    const TRACKED: [&str; 3] = ["E16", "E17", "E18"];
     let mut by_experiment: std::collections::BTreeMap<&str, Vec<&Row>> = Default::default();
     for row in &r.rows {
         if TRACKED.contains(&row.experiment.as_str()) {
@@ -845,4 +851,227 @@ fn e17(r: &mut Report, smoke: bool) {
             t_deep / t_clone >= 100.0,
         );
     }
+}
+
+/// E18 — subsumption-cached point queries (service query subsystem).
+///
+/// Benchmarks the demand-driven point-query path layered over the
+/// materialized view ([`datalog_service::QueryState`]) on the largest
+/// E16-class workload (bloated TC over a chain EDB):
+///
+/// * `scan` — the pre-cache serving path: match-filter the full
+///   materialized fixpoint snapshot per query;
+/// * `cold` — top-down magic-sets evaluation against the base facts with
+///   an invalidated cache (every query a miss);
+/// * `warm` — the same adorned query repeated against a warm cache;
+/// * `subsumed` — narrower ground instances answered by filtering a cached
+///   superset; together with `warm`, counter-verified to do zero
+///   evaluation work (no derivations, no probes, no misses);
+/// * `churn-qps` — cached query throughput while a writer commits
+///   insert/remove batches that invalidate through the dependency cones,
+///   with a post-churn answer check against a from-scratch evaluation.
+fn e18(r: &mut Report, smoke: bool) {
+    use datalog_ast::{match_atom, Atom, Database, GroundAtom, Term};
+    use datalog_engine::query::Strategy;
+    use datalog_engine::Stats;
+    use datalog_service::{CacheStatus, QueryState, View};
+
+    println!("== E18: subsumption-cached point queries ==");
+    let program = bloated_tc(6, 99);
+    let n: usize = if smoke { 48 } else { 96 };
+    let db = standard_edb("chain", n);
+    let workload = format!("bloated6-chain{n}");
+    let reps = if smoke { 20 } else { 200 };
+
+    let view = View::new(program.clone(), &db);
+    let state = view.state();
+    let query = parse_atom("g(0, X)").unwrap();
+    let filter = |db: &Database, pattern: &Atom| -> Database {
+        let mut out = Database::new();
+        for tuple in db.relation(pattern.pred) {
+            let ground = GroundAtom {
+                pred: pattern.pred,
+                tuple: tuple.into(),
+            };
+            if match_atom(pattern, &ground).is_some() {
+                out.insert(ground);
+            }
+        }
+        out
+    };
+    let expected = filter(&state.fixpoint, &query);
+    r.check(
+        "E18",
+        &format!(
+            "{workload}: the point query has a non-trivial answer set ({} atoms)",
+            expected.len()
+        ),
+        expected.len() >= n,
+    );
+
+    // The pre-cache serving path: every query walks the full relation of
+    // the materialized snapshot.
+    let t_scan = ms(
+        || {
+            std::hint::black_box(filter(&state.fixpoint, &query));
+        },
+        reps,
+    );
+
+    // Cold path: the answer cache is invalidated before every query, so
+    // each one re-runs the demand-driven magic-sets evaluation (the plan
+    // cache stays warm — plans depend only on the adornment).
+    let cold = QueryState::new(&program);
+    let t_cold = ms(
+        || {
+            cold.invalidate([query.pred], state.version);
+            let (answers, status, _) = cold.answer(&state, &query, Strategy::Magic);
+            assert!(status == CacheStatus::Miss);
+            std::hint::black_box(answers);
+        },
+        if smoke { 2 } else { 10 },
+    );
+
+    // Warm path: admit the general query once, then repeat it.
+    let qs = QueryState::new(&program);
+    let (first, status, _) = qs.answer(&state, &query, Strategy::Magic);
+    r.check(
+        "E18",
+        &format!("{workload}: cold top-down answers agree with the snapshot scan"),
+        status == CacheStatus::Miss && *first == expected,
+    );
+    let mut warm_stats = Stats::default();
+    let t_warm = ms(
+        || {
+            let (answers, status, stats) = qs.answer(&state, &query, Strategy::Magic);
+            assert!(status == CacheStatus::Hit);
+            warm_stats += stats;
+            std::hint::black_box(answers);
+        },
+        reps,
+    );
+    let warm_calls = reps as u64 + 1; // `ms` warms up once before timing.
+    r.check(
+        "E18",
+        &format!(
+            "{workload}: {warm_calls} warm hits did zero evaluation work \
+             ({} hits, {} derivations, {} probes)",
+            warm_stats.query_cache_hits, warm_stats.derivations, warm_stats.probes
+        ),
+        warm_stats.query_cache_hits == warm_calls
+            && warm_stats.query_cache_misses == 0
+            && warm_stats.derivations == 0
+            && warm_stats.probes == 0,
+    );
+
+    // Subsumed path: ground instances of the cached general query, answered
+    // by filtering the cached set — never admitted, never re-evaluated.
+    let narrowed: Vec<Atom> = expected
+        .iter()
+        .take(16)
+        .map(|g| Atom {
+            pred: g.pred,
+            terms: g.tuple.iter().map(|&c| Term::Const(c)).collect(),
+        })
+        .collect();
+    let mut sub_stats = Stats::default();
+    let mut sub_idx = 0usize;
+    let t_sub = ms(
+        || {
+            let narrow = &narrowed[sub_idx % narrowed.len()];
+            sub_idx += 1;
+            let (answers, status, stats) = qs.answer(&state, narrow, Strategy::Magic);
+            assert!(status == CacheStatus::Subsumed);
+            assert!(answers.len() == 1);
+            sub_stats += stats;
+            std::hint::black_box(answers);
+        },
+        reps,
+    );
+    r.check(
+        "E18",
+        &format!(
+            "{workload}: {warm_calls} subsumed queries answered with zero re-evaluations \
+             ({} subsumption hits, {} derivations)",
+            sub_stats.query_cache_subsumption_hits, sub_stats.derivations
+        ),
+        sub_stats.query_cache_subsumption_hits == warm_calls
+            && sub_stats.query_cache_misses == 0
+            && sub_stats.derivations == 0
+            && sub_stats.probes == 0,
+    );
+
+    r.row(Row::new("E18", &workload, "scan", n as u64, t_scan, "ms"));
+    r.row(Row::new("E18", &workload, "cold", n as u64, t_cold, "ms"));
+    r.row(Row::new("E18", &workload, "warm", n as u64, t_warm, "ms"));
+    r.row(Row::new(
+        "E18", &workload, "subsumed", n as u64, t_sub, "ms",
+    ));
+    r.row(Row::new(
+        "E18",
+        &workload,
+        "speedup-warm",
+        n as u64,
+        t_scan / t_warm,
+        "x",
+    ));
+    if !smoke {
+        r.check(
+            "E18",
+            &format!(
+                "{workload}: warm cached point queries ≥ 10x faster than the snapshot \
+                 scan ({:.4}ms vs {:.4}ms, {:.1}x)",
+                t_warm,
+                t_scan,
+                t_scan / t_warm
+            ),
+            t_scan / t_warm >= 10.0,
+        );
+    }
+
+    // Churn: cached throughput while a writer commits batches that
+    // invalidate through the dependency cones. Each insert/remove pair
+    // returns the base to its original facts, and the final cached answer
+    // is checked against a from-scratch evaluation of the final base.
+    let churn_batches: i64 = if smoke { 4 } else { 32 };
+    let churn_queries = if smoke { 200 } else { 2_000 };
+    let churn = QueryState::new(&program);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..churn_batches {
+                let edge = fact("a", [n as i64 + i, n as i64 + i + 1]);
+                let changed = [edge.pred];
+                view.insert_then(vec![edge.clone()], |version| {
+                    churn.invalidate(changed, version);
+                });
+                view.remove_then(vec![edge], |version| {
+                    churn.invalidate(changed, version);
+                });
+            }
+        });
+        for qi in 0..churn_queries {
+            let narrow = &narrowed[qi % narrowed.len()];
+            let live = view.state();
+            let (answers, _, _) = churn.answer(&live, narrow, Strategy::Magic);
+            assert!(answers.len() == 1);
+        }
+    });
+    let qps = churn_queries as f64 / start.elapsed().as_secs_f64();
+    r.row(Row::new(
+        "E18",
+        &workload,
+        "churn-qps",
+        n as u64,
+        qps,
+        "qps",
+    ));
+    let final_state = view.state();
+    let reference = filter(&seminaive::evaluate(&program, &final_state.base), &query);
+    let (post, _, _) = churn.answer(&final_state, &query, Strategy::Magic);
+    r.check(
+        "E18",
+        &format!("{workload}: post-churn cached answers match a from-scratch evaluation"),
+        *post == reference,
+    );
 }

@@ -1,0 +1,171 @@
+//! Point-query subsumption — the answer-cache admission test.
+//!
+//! A point query is an atom like `g(1, X)`; its answer over a database is
+//! the set of ground `g`-tuples matching the pattern. A cached query
+//! *covers* (subsumes) a new one when, over **every** database, the new
+//! query's answers are a subset of the cached query's — then the new query
+//! can be answered by filtering the cached answer set, with zero
+//! re-evaluation.
+//!
+//! Viewing each query atom as the single-atom conjunctive query
+//! `q(t̄) :- p(t̄)`, coverage is exactly CQ containment (§V,
+//! Chandra–Merlin): `specific ⊑ general` iff a homomorphism maps the
+//! general atom onto the specific one position-wise. Because the body is a
+//! single atom, the homomorphism search degenerates to one linear
+//! unification sweep — the fast path [`covers_with_fuel`] — and §VI's
+//! uniform containment coincides with it (a single non-recursive rule
+//! applies at most once, see [`crate::cq::cq_contained`]).
+//! [`covers_cq`] runs the general §V machinery on the same pair; the test
+//! suite pins the two routes to agree.
+
+use crate::cq::cq_contained;
+use datalog_ast::{Atom, Literal, Rule, Term, Var};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// Default fuel for one cache-lookup sweep: each term comparison costs one
+/// unit, so this bounds the total work a lookup may spend on subsumption
+/// checks before falling back to a plain miss.
+pub const DEFAULT_SUBSUMPTION_FUEL: u64 = 4096;
+
+/// Does `general` cover `specific` — is every answer to `specific` an
+/// answer to `general` on every database? Unbounded convenience wrapper
+/// around [`covers_with_fuel`].
+pub fn covers(general: &Atom, specific: &Atom) -> bool {
+    let mut fuel = u64::MAX;
+    covers_with_fuel(general, specific, &mut fuel).unwrap_or(false)
+}
+
+/// Fuel-bounded coverage test. Each argument-position comparison costs one
+/// unit of `fuel`; returns `None` when the budget runs out (callers treat
+/// that as "not covered" — sound, merely conservative). The check is the
+/// single-atom CQ homomorphism: a consistent substitution from `general`'s
+/// variables to `specific`'s terms that maps `general` onto `specific`
+/// position-wise, with constants matching exactly.
+pub fn covers_with_fuel(general: &Atom, specific: &Atom, fuel: &mut u64) -> Option<bool> {
+    if general.pred != specific.pred || general.terms.len() != specific.terms.len() {
+        return Some(false);
+    }
+    let mut map: BTreeMap<Var, Term> = BTreeMap::new();
+    for (&g, &s) in general.terms.iter().zip(specific.terms.iter()) {
+        if *fuel == 0 {
+            return None;
+        }
+        *fuel -= 1;
+        match g {
+            Term::Const(c) => match s {
+                // A bound position of the cached query must be bound to the
+                // same constant in the new query.
+                Term::Const(d) if c == d => {}
+                _ => return Some(false),
+            },
+            // A free position maps consistently: a repeated variable in the
+            // cached query (diagonal pattern) covers only queries that
+            // repeat the same term.
+            Term::Var(v) => match map.entry(v) {
+                Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+                Entry::Occupied(e) => {
+                    if *e.get() != s {
+                        return Some(false);
+                    }
+                }
+            },
+        }
+    }
+    Some(true)
+}
+
+/// The same coverage decision through the full §V containment machinery:
+/// wrap each atom as the single-atom conjunctive query `ans(t̄) :- p(t̄)`
+/// (a fresh answer predicate keeps the body from trivially containing the
+/// head) and test `specific ⊑ general` with [`cq_contained`] (which itself
+/// runs the §VI freezing test). Exponentially slower in principle,
+/// identical in verdict — kept as the executable specification of
+/// [`covers`].
+pub fn covers_cq(general: &Atom, specific: &Atom) -> bool {
+    if general.pred != specific.pred || general.terms.len() != specific.terms.len() {
+        return false;
+    }
+    let ans = datalog_ast::Pred::new("subsume__ans");
+    let as_rule = |atom: &Atom| {
+        let head = Atom {
+            pred: ans,
+            terms: atom.terms.clone(),
+        };
+        Rule::new(head, vec![Literal::pos(atom.clone())])
+    };
+    cq_contained(&as_rule(specific), &as_rule(general))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalog_ast::parse_atom;
+
+    fn atom(src: &str) -> Atom {
+        parse_atom(src).unwrap()
+    }
+
+    #[test]
+    fn coverage_table() {
+        // (general, specific, covers?)
+        let cases = [
+            ("g(X, Y)", "g(1, Z)", true),  // instance: bind X
+            ("g(X, Y)", "g(1, 2)", true),  // fully bound instance
+            ("g(X, Y)", "g(Z, Z)", true),  // diagonal is a restriction
+            ("g(1, X)", "g(1, 2)", true),  // tighten the free position
+            ("g(1, X)", "g(1, Y)", true),  // renaming
+            ("g(1, X)", "g(X, Y)", false), // generalising a bound position
+            ("g(1, X)", "g(2, X)", false), // different constant
+            ("g(X, X)", "g(1, 2)", false), // diagonal misses off-diagonal
+            ("g(X, X)", "g(1, 1)", true),  // diagonal point
+            ("g(X, X)", "g(Y, Z)", false), // diagonal does not cover all
+            ("g(X, Y)", "h(X, Y)", false), // different predicate
+            ("g(X)", "g(X, Y)", false),    // different arity
+        ];
+        for (g, s, expected) in cases {
+            let (g, s) = (atom(g), atom(s));
+            assert_eq!(covers(&g, &s), expected, "{g} covers {s}");
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_cq_machinery() {
+        // Every ordered pair from a pool of patterns: the linear sweep and
+        // the §V homomorphism route must return the same verdict.
+        let pool = [
+            "g(X, Y)", "g(Y, X)", "g(X, X)", "g(1, X)", "g(X, 1)", "g(1, 2)", "g(2, 2)", "g(1, 1)",
+        ];
+        for g in pool {
+            for s in pool {
+                let (g, s) = (atom(g), atom(s));
+                assert_eq!(covers(&g, &s), covers_cq(&g, &s), "{g} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_reflexive_and_transitive_on_samples() {
+        let chain = [atom("g(X, Y)"), atom("g(1, Z)"), atom("g(1, 2)")];
+        for a in &chain {
+            assert!(covers(a, a));
+        }
+        assert!(covers(&chain[0], &chain[1]));
+        assert!(covers(&chain[1], &chain[2]));
+        assert!(covers(&chain[0], &chain[2]));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_conservative() {
+        let g = atom("g(X, Y)");
+        let s = atom("g(1, 2)");
+        let mut fuel = 1; // two positions need two units
+        assert_eq!(covers_with_fuel(&g, &s, &mut fuel), None);
+        assert_eq!(fuel, 0);
+        let mut enough = 2;
+        assert_eq!(covers_with_fuel(&g, &s, &mut enough), Some(true));
+        assert_eq!(enough, 0);
+    }
+}

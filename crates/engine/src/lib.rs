@@ -33,6 +33,7 @@ pub mod plan;
 pub mod pool;
 pub mod provenance;
 pub mod qsq;
+pub mod query;
 pub mod scc_eval;
 pub mod seminaive;
 pub mod stats;
@@ -40,10 +41,14 @@ pub mod stratified;
 
 pub use context::{EvalContext, EvalOptions};
 pub use incremental::Materialized;
-pub use magic::{answer, answer_with_stats, magic_transform, MagicProgram};
+pub use magic::{
+    answer, answer_with_stats, magic_template, magic_transform, Adornment, MagicProgram,
+    MagicTemplate,
+};
 pub use naive::apply_once;
 pub use plan::{instantiate_head, join_body, IndexSet, RulePlan};
 pub use pool::ThreadPool;
 pub use provenance::{evaluate_traced, Justification, Proof, Traced};
+pub use query::{PlanCache, QueryPlan, Strategy};
 pub use stats::Stats;
 pub use stratified::NotStratifiable;

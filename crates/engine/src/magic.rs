@@ -25,6 +25,13 @@ use std::fmt;
 pub struct Adornment(Vec<bool>);
 
 impl Adornment {
+    /// Adornment of a top-level query atom: exactly the constant positions
+    /// are bound. This is the public entry point callers use to key plans
+    /// and caches by `(predicate, adornment)`.
+    pub fn of_query(query: &Atom) -> Adornment {
+        Adornment::of_atom(query, &BTreeSet::new())
+    }
+
     /// Adornment of an atom given the set of currently-bound variables:
     /// a position is bound if it holds a constant or a bound variable.
     pub(crate) fn of_atom(atom: &Atom, bound: &BTreeSet<Var>) -> Adornment {
@@ -105,23 +112,68 @@ fn magic_atom(atom: &Atom, a: &Adornment) -> Atom {
     }
 }
 
-/// Rewrite `program` for `query` (an atom whose constant positions are the
-/// bound arguments, e.g. `g(1, X)`). The program must be positive.
-///
-/// Returns the transformed program plus the seed fact; evaluate with
-/// [`crate::seminaive::evaluate`] after inserting the seed and the EDB.
-pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
+/// The constant-independent half of the magic transformation: everything
+/// the rewriting produces for a `(predicate, adornment)` pair *except* the
+/// seed fact. The rewritten rules depend only on which positions are bound,
+/// never on the bound constants themselves, so one template answers every
+/// query with the same binding pattern — [`crate::query::QueryPlan`] caches
+/// these and stamps a per-query seed via [`MagicTemplate::seed_for`].
+#[derive(Clone, Debug)]
+pub struct MagicTemplate {
+    /// The rewritten rules (adorned rules guarded by magic atoms, the magic
+    /// rules themselves, and the import rules).
+    pub program: Program,
+    /// The query predicate the template was built for.
+    pub query_pred: Pred,
+    /// The query's binding pattern.
+    pub adornment: Adornment,
+    /// The magic predicate seeded with the query's bound constants.
+    pub magic_pred: Pred,
+    /// The adorned predicate holding the query's answers.
+    pub answer_pred: Pred,
+}
+
+impl MagicTemplate {
+    /// The seed fact for a concrete query atom: the magic predicate applied
+    /// to the query's bound constants. The query must use this template's
+    /// predicate and adornment (constants exactly at the bound positions).
+    pub fn seed_for(&self, query: &Atom) -> GroundAtom {
+        assert_eq!(query.pred, self.query_pred, "query predicate mismatch");
+        assert_eq!(
+            Adornment::of_query(query),
+            self.adornment,
+            "query adornment mismatch"
+        );
+        GroundAtom {
+            pred: self.magic_pred,
+            tuple: self
+                .adornment
+                .bound_positions()
+                .map(|i| {
+                    query.terms[i]
+                        .as_const()
+                        .expect("bound position holds a constant")
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Build the constant-independent [`MagicTemplate`] for a
+/// `(predicate, adornment)` pair. The program must be positive.
+pub fn magic_template(program: &Program, pred: Pred, adornment: &Adornment) -> MagicTemplate {
     assert!(
         program.is_positive(),
         "magic sets requires a positive program"
     );
     let idb = program.intentional();
 
-    let query_adornment = Adornment::of_atom(query, &BTreeSet::new());
+    let query_adornment = adornment.clone();
+    let query_pred = pred;
     let mut seen: BTreeSet<(Pred, Adornment)> = BTreeSet::new();
     let mut queue: VecDeque<(Pred, Adornment)> = VecDeque::new();
-    seen.insert((query.pred, query_adornment.clone()));
-    queue.push_back((query.pred, query_adornment.clone()));
+    seen.insert((query_pred, query_adornment.clone()));
+    queue.push_back((query_pred, query_adornment.clone()));
 
     let mut out = Program::empty();
 
@@ -196,22 +248,29 @@ pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
         ));
     }
 
-    let seed = GroundAtom {
-        pred: magic_pred(query.pred, &query_adornment),
-        tuple: query_adornment
-            .bound_positions()
-            .map(|i| {
-                query.terms[i]
-                    .as_const()
-                    .expect("bound position holds a constant")
-            })
-            .collect(),
-    };
-
-    MagicProgram {
+    MagicTemplate {
         program: out,
+        query_pred,
+        magic_pred: magic_pred(query_pred, &query_adornment),
+        answer_pred: adorned_pred(query_pred, &query_adornment),
+        adornment: query_adornment,
+    }
+}
+
+/// Rewrite `program` for `query` (an atom whose constant positions are the
+/// bound arguments, e.g. `g(1, X)`). The program must be positive.
+///
+/// Returns the transformed program plus the seed fact; evaluate with
+/// [`crate::seminaive::evaluate`] after inserting the seed and the EDB.
+/// Batch callers answering many queries with the same binding pattern
+/// should build one [`magic_template`] and stamp per-query seeds instead.
+pub fn magic_transform(program: &Program, query: &Atom) -> MagicProgram {
+    let template = magic_template(program, query.pred, &Adornment::of_query(query));
+    let seed = template.seed_for(query);
+    MagicProgram {
+        program: template.program,
         seed,
-        answer_pred: adorned_pred(query.pred, &query_adornment),
+        answer_pred: template.answer_pred,
     }
 }
 

@@ -4,16 +4,17 @@
 //! workspace, after Zhang et al., *"Finding Cross-rule Optimization Bugs in
 //! Datalog Engines"* (2024): the repo computes the same answers many ways —
 //! naive/semi-naive/SCC/stratified/parallel fixpoints, magic-sets and QSQ
-//! query answering, incremental insert/DRed-remove maintenance, and §VII
-//! uniform-equivalence minimization — and precisely that redundancy is the
-//! test oracle. Random workloads are generated from `datalog-generate`,
+//! query answering, incremental insert/DRed-remove maintenance, §VII
+//! uniform-equivalence minimization, and the service's subsumption-cached
+//! point-query path — and precisely that redundancy is the test oracle.
+//! Random workloads are generated from `datalog-generate`,
 //! every computation path is cross-checked, and any disagreement is shrunk
 //! by a delta-debugging reducer into a self-contained fixture that replays
 //! as a regression test.
 //!
 //! * [`workload`] — seeded (program, database, queries, mutations) cases;
-//! * [`oracles`] — the three divergence checks (engine matrix,
-//!   optimization soundness, incremental consistency);
+//! * [`oracles`] — the divergence checks (engine matrix, optimization
+//!   soundness, incremental consistency, query-cache consistency);
 //! * [`reduce`] — greedy delta-debugging reduction (rules → atoms →
 //!   queries → mutations → facts → constant renumbering);
 //! * [`fixture`] — the `.repro` file format under `tests/repros/`;
@@ -160,7 +161,7 @@ mod tests {
             reduce: false,
         });
         assert_eq!(report.total_cases(), 9);
-        assert_eq!(report.cases_run.len(), 3);
+        assert_eq!(report.cases_run.len(), 4);
         // The reference evaluations' storage work is folded into the report.
         assert!(report.eval.tuples_allocated > 0);
         assert!(report.eval.arena_bytes > 0);

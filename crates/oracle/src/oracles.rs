@@ -1,4 +1,4 @@
-//! The three oracle families and their divergence checks.
+//! The oracle families and their divergence checks.
 //!
 //! Each check recomputes the same answer several independent ways and
 //! reports every disagreement as a [`Divergence`]. The reference result is
@@ -19,14 +19,23 @@
 //! * **Incremental consistency** — after every insert/remove batch the
 //!   [`Materialized`] fixpoint must equal a from-scratch evaluation of the
 //!   surviving base.
+//! * **Query-cache consistency** — a [`View`] + [`QueryState`] pair (the
+//!   service's point-query path) is driven through interleaved adorned
+//!   queries and invalidating write batches; every answer — cold, served
+//!   from the cache, or filtered out of a more general cached set by §V/§VI
+//!   subsumption — must equal the pattern-filtered from-scratch fixpoint of
+//!   the same base.
 
 use crate::workload::{Case, Mutation};
-use datalog_ast::{match_atom, Atom, Database, GroundAtom, Program};
+use datalog_ast::{match_atom, Atom, Const, Database, GroundAtom, Pred, Program, Term};
+use datalog_engine::query::Strategy;
 use datalog_engine::Materialized;
 use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, EvalOptions, Stats};
 use datalog_optimizer::{minimize_program, minimize_program_in_order, uniformly_equivalent};
+use datalog_service::{CacheStatus, QueryState, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// The oracle family a case belongs to.
@@ -35,16 +44,23 @@ pub enum Family {
     Engines,
     Optimization,
     Incremental,
+    QueryCache,
 }
 
 impl Family {
-    pub const ALL: [Family; 3] = [Family::Engines, Family::Optimization, Family::Incremental];
+    pub const ALL: [Family; 4] = [
+        Family::Engines,
+        Family::Optimization,
+        Family::Incremental,
+        Family::QueryCache,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Family::Engines => "engines",
             Family::Optimization => "optimization",
             Family::Incremental => "incremental",
+            Family::QueryCache => "query-cache",
         }
     }
 
@@ -53,6 +69,7 @@ impl Family {
             "engines" => Some(Family::Engines),
             "optimization" => Some(Family::Optimization),
             "incremental" => Some(Family::Incremental),
+            "query-cache" => Some(Family::QueryCache),
             _ => None,
         }
     }
@@ -87,6 +104,7 @@ pub fn check(case: &Case) -> Vec<Divergence> {
         Family::Engines => check_engines(case),
         Family::Optimization => check_optimization(case),
         Family::Incremental => check_incremental(case),
+        Family::QueryCache => check_query_cache(case),
     }
 }
 
@@ -368,6 +386,124 @@ fn check_incremental(case: &Case) -> Vec<Divergence> {
                 ),
             });
             return out; // later steps would only echo the same corruption
+        }
+    }
+    out
+}
+
+/// Narrow `query` for the subsumption differential: substitute a constant
+/// for every occurrence of its first variable, so the result is covered by
+/// `query` (and hence by whatever cache entry served it). The constant is
+/// taken from the answer set when possible, so the narrowed query usually
+/// has answers; `None` for fully ground queries.
+fn narrow_query(query: &Atom, answers: &Database) -> Option<Atom> {
+    let (pos, var) = query.terms.iter().enumerate().find_map(|(i, t)| match t {
+        Term::Var(v) => Some((i, *v)),
+        Term::Const(_) => None,
+    })?;
+    let constant = answers
+        .relation(query.pred)
+        .next()
+        .map(|tuple| tuple[pos])
+        .unwrap_or(Const::Int(0));
+    let terms = query
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) if *v == var => Term::Const(constant),
+            other => *other,
+        })
+        .collect();
+    Some(Atom {
+        pred: query.pred,
+        terms,
+    })
+}
+
+fn check_query_cache(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    if !program.is_positive() {
+        return out;
+    }
+    let diverge = |kind: &str, query: &Atom, expected: &Database, got: &Database| Divergence {
+        family: Family::QueryCache,
+        kind: format!("query-cache:{kind}"),
+        message: format!(
+            "{kind} answer for `{query}` disagrees with the filtered from-scratch fixpoint: {}",
+            diff_sample(expected, got)
+        ),
+    };
+    // The exact pair the service runs per installed program: a view plus the
+    // plan/answer-cache state, invalidated from the view's pre-publication
+    // hook (mirroring `Registry::op_mutate`).
+    let view = View::new(program.clone(), &case.db);
+    let state = QueryState::new(program);
+    // Rounds: the initial base, then the base after each mutation batch.
+    for round in 0..=case.mutations.len() {
+        let published = view.state();
+        let reference = seminaive::evaluate(program, &published.base);
+        for (qi, query) in case.queries.iter().enumerate() {
+            // Alternate strategies across rounds and queries: cached
+            // answers are strategy-agnostic.
+            let strategy = if (round + qi) % 2 == 0 {
+                Strategy::Magic
+            } else {
+                Strategy::Qsq
+            };
+            let expected = filtered_fixpoint(&reference, query);
+            let (cold, _, _) = state.answer(&published, query, strategy);
+            if *cold != expected {
+                out.push(diverge("cold", query, &expected, &cold));
+                return out; // the cache now holds a wrong set; stop here
+            }
+            // Repeating the query at the same version must be served from
+            // the cache — and still agree.
+            let (warm, status, _) = state.answer(&published, query, strategy);
+            if *warm != expected {
+                out.push(diverge("warm", query, &expected, &warm));
+                return out;
+            }
+            if status == CacheStatus::Miss {
+                out.push(Divergence {
+                    family: Family::QueryCache,
+                    kind: "query-cache:recompute".into(),
+                    message: format!(
+                        "repeated query `{query}` at an unchanged version re-evaluated \
+                         instead of hitting the cache"
+                    ),
+                });
+            }
+            // A narrowed instance is covered by the entry that just served
+            // `query`: it must be answered from the cache by subsumption,
+            // and the filtered set must agree with the reference.
+            if let Some(narrow) = narrow_query(query, &expected) {
+                let expected_narrow = filtered_fixpoint(&reference, &narrow);
+                let (sub, status, _) = state.answer(&published, &narrow, strategy);
+                if *sub != expected_narrow {
+                    out.push(diverge("subsumed", &narrow, &expected_narrow, &sub));
+                    return out;
+                }
+                if status == CacheStatus::Miss {
+                    out.push(Divergence {
+                        family: Family::QueryCache,
+                        kind: "query-cache:recompute".into(),
+                        message: format!(
+                            "`{narrow}` is covered by the cached `{query}` but re-evaluated"
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(mutation) = case.mutations.get(round) {
+            let changed: BTreeSet<Pred> = mutation.facts().iter().map(|f| f.pred).collect();
+            let invalidate = |version: u64| {
+                state.invalidate(changed.iter().copied(), version);
+            };
+            match mutation {
+                Mutation::Insert(facts) => view.insert_then(facts.clone(), invalidate),
+                Mutation::Remove(facts) => view.remove_then(facts.clone(), invalidate),
+            };
         }
     }
     out

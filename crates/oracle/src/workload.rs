@@ -1,10 +1,11 @@
 //! Fuzz-case generation: seeded (program, database, queries, mutations)
 //! workloads.
 //!
-//! A [`Case`] carries everything any of the three oracle families could
-//! need; each family reads the parts relevant to it (the engine matrix uses
+//! A [`Case`] carries everything any of the oracle families could need;
+//! each family reads the parts relevant to it (the engine matrix uses
 //! `program`/`db`/`queries`, the optimization oracle `program`/`db`, the
-//! incremental oracle `program`/`db`/`mutations`). Generation is
+//! incremental oracle `program`/`db`/`mutations`, and the query-cache
+//! oracle all four — queries interleaved with mutations). Generation is
 //! deterministic per `(seed, family)` — the same seed always reproduces the
 //! same case, which is what makes a divergence report actionable.
 //!
@@ -90,12 +91,13 @@ pub fn generate(seed: u64, family: Family) -> Case {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let program = pick_program(&mut rng, family);
     let db = pick_db(&mut rng, &program);
-    let queries = if family == Family::Engines && program.is_positive() {
+    let wants_queries = matches!(family, Family::Engines | Family::QueryCache);
+    let queries = if wants_queries && program.is_positive() {
         pick_queries(&mut rng, &program, &db)
     } else {
         Vec::new()
     };
-    let mutations = if family == Family::Incremental {
+    let mutations = if matches!(family, Family::Incremental | Family::QueryCache) {
         pick_mutations(&mut rng, &program, &db)
     } else {
         Vec::new()
@@ -111,9 +113,9 @@ pub fn generate(seed: u64, family: Family) -> Case {
 }
 
 fn pick_program(rng: &mut StdRng, family: Family) -> Program {
-    // The engine matrix also exercises stratified negation; the other two
-    // families require positive programs (minimization and Materialized are
-    // positive-only).
+    // The engine matrix also exercises stratified negation; the other
+    // families require positive programs (minimization, Materialized, and
+    // the top-down query engines are positive-only).
     let stratified_ok = family == Family::Engines;
     loop {
         let p = match rng.gen_range(0..10u32) {
@@ -327,6 +329,20 @@ mod tests {
     fn incremental_cases_have_mutations() {
         let any = (0..20).any(|s| !generate(s, Family::Incremental).mutations.is_empty());
         assert!(any);
+    }
+
+    #[test]
+    fn query_cache_cases_have_queries_and_mutations() {
+        let mut with_both = 0;
+        for seed in 0..40 {
+            let c = generate(seed, Family::QueryCache);
+            assert!(c.program.is_positive(), "seed {seed}");
+            assert!(!c.queries.is_empty(), "seed {seed}");
+            if !c.mutations.is_empty() {
+                with_both += 1;
+            }
+        }
+        assert!(with_both > 10, "only {with_both}/40 cases had mutations");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   ([`datalog_engine::Materialized`]) with batched insert/remove and
 //!   snapshot-isolated, never-blocking reads (`Arc<Database>` swapped after
 //!   every write batch);
+//! * [`query`] — the demand-driven point-query subsystem: per-adornment
+//!   top-down plans (magic sets / QSQR over the view's base facts) behind a
+//!   subsumption-aware answer cache whose admission and reuse are decided
+//!   by the paper's §V/§VI containment tests;
 //! * [`metrics`] — per-program and server-wide request counts, latency, and
 //!   aggregated [`datalog_engine::Stats`], served by the `stats` request;
 //! * [`pool`] — the fixed-size worker thread pool, re-exported from
@@ -49,6 +53,7 @@ pub mod client;
 pub mod metrics;
 pub use datalog_engine::pool;
 pub mod protocol;
+pub mod query;
 pub mod registry;
 pub mod server;
 pub mod view;
@@ -57,6 +62,7 @@ pub use client::Client;
 pub use metrics::Metrics;
 pub use pool::ThreadPool;
 pub use protocol::{ErrorCode, ServiceError};
+pub use query::{CacheStatus, QueryState};
 pub use registry::{Control, ProgramEntry, Registry};
 pub use server::{Server, ServerConfig};
-pub use view::View;
+pub use view::{View, ViewState};

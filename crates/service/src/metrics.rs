@@ -103,6 +103,23 @@ impl Metrics {
                     ("parallel_tasks", Value::from(inner.eval.parallel_tasks)),
                     ("tuples_allocated", Value::from(inner.eval.tuples_allocated)),
                     ("arena_bytes", Value::from(inner.eval.arena_bytes)),
+                    ("query_cache_hits", Value::from(inner.eval.query_cache_hits)),
+                    (
+                        "query_cache_misses",
+                        Value::from(inner.eval.query_cache_misses),
+                    ),
+                    (
+                        "query_cache_subsumption_hits",
+                        Value::from(inner.eval.query_cache_subsumption_hits),
+                    ),
+                    (
+                        "query_cache_invalidations",
+                        Value::from(inner.eval.query_cache_invalidations),
+                    ),
+                    (
+                        "query_cache_entries",
+                        Value::from(inner.eval.query_cache_entries),
+                    ),
                 ]),
             ),
             ("atoms_added", Value::from(inner.atoms_added)),
@@ -131,6 +148,11 @@ mod tests {
             parallel_tasks: 6,
             tuples_allocated: 12,
             arena_bytes: 192,
+            query_cache_hits: 8,
+            query_cache_misses: 2,
+            query_cache_subsumption_hits: 3,
+            query_cache_invalidations: 5,
+            query_cache_entries: 2,
         });
         m.record_mutation(4, 1);
 
@@ -152,6 +174,17 @@ mod tests {
         assert_eq!(eval.get("parallel_tasks").unwrap().as_u64(), Some(6));
         assert_eq!(eval.get("tuples_allocated").unwrap().as_u64(), Some(12));
         assert_eq!(eval.get("arena_bytes").unwrap().as_u64(), Some(192));
+        assert_eq!(eval.get("query_cache_hits").unwrap().as_u64(), Some(8));
+        assert_eq!(eval.get("query_cache_misses").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            eval.get("query_cache_subsumption_hits").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            eval.get("query_cache_invalidations").unwrap().as_u64(),
+            Some(5)
+        );
+        assert_eq!(eval.get("query_cache_entries").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("atoms_added").unwrap().as_u64(), Some(4));
     }
 }

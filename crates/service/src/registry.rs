@@ -12,15 +12,18 @@ use crate::metrics::Metrics;
 use crate::protocol::{
     bool_field, error_response, ok_response, str_field, ErrorCode, ServiceError,
 };
+use crate::query::QueryState;
 use crate::view::View;
 use datalog_analysis::{analyze_unit, LintConfig, Severity};
 use datalog_ast::{
-    match_atom, parse_atom, parse_database, parse_program, validate, Database, GroundAtom, Program,
-    Unit,
+    match_atom, parse_atom, parse_database, parse_program, validate, Database, GroundAtom, Pred,
+    Program, Unit,
 };
+use datalog_engine::query::Strategy;
+use datalog_engine::Adornment;
 use datalog_json::Value;
 use datalog_optimizer::minimize_program;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -46,6 +49,9 @@ pub struct ProgramEntry {
     /// Whole rules deleted by §VII minimization.
     pub rules_removed: usize,
     pub view: View,
+    /// The point-query subsystem: cached top-down plans plus the
+    /// subsumption-aware answer cache (see [`crate::query`]).
+    pub query: QueryState,
     pub metrics: Metrics,
 }
 
@@ -154,7 +160,8 @@ impl Registry {
             installed: installed.clone(),
             atoms_removed: removal.atoms.len(),
             rules_removed: removal.rules.len(),
-            view: View::new(installed, &Database::new()),
+            view: View::new(installed.clone(), &Database::new()),
+            query: QueryState::new(&installed),
             metrics: Metrics::default(),
         });
         self.programs
@@ -334,15 +341,28 @@ impl Registry {
             .map_err(|e| ServiceError::new(ErrorCode::ParseError, format!("facts: {e}")))?;
         let facts: Vec<GroundAtom> = facts_db.iter().collect();
         let batch = facts.len();
+        // Invalidate cached point-query answers whose predicate lies in the
+        // dependency cone of the batch's predicates — inside the view's
+        // pre-publication hook, so no reader can pair a stale cache entry
+        // with the new state.
+        let changed_preds: BTreeSet<Pred> = facts.iter().map(|f| f.pred).collect();
+        let mut invalidated = 0u64;
+        let invalidate = |version: u64| {
+            invalidated = entry
+                .query
+                .invalidate(changed_preds.iter().copied(), version);
+        };
         let (op, changed, stats) = if insert {
-            let (added, stats) = entry.view.insert(facts);
+            let (added, stats) = entry.view.insert_then(facts, invalidate);
             entry.metrics.record_mutation(added, 0);
             ("insert", added, stats)
         } else {
-            let (removed, stats) = entry.view.remove(facts);
+            let (removed, stats) = entry.view.remove_then(facts, invalidate);
             entry.metrics.record_mutation(0, removed);
             ("remove", removed, stats)
         };
+        let mut stats = stats;
+        stats.query_cache_invalidations = invalidated;
         entry.metrics.record_eval(stats);
         self.metrics.record_eval(stats);
         let response = ok_response(
@@ -372,23 +392,62 @@ impl Registry {
                 ServiceError::bad_request("field 'limit' must be a non-negative integer")
             })? as usize,
         };
-        // Queries run entirely against a published snapshot: no lock is
-        // held while matching, so writers never stall readers.
-        let snapshot = entry.view.snapshot();
-        let mut answers = Vec::new();
-        let mut count = 0usize;
-        for tuple in snapshot.relation(pattern.pred) {
-            let ground = GroundAtom {
-                pred: pattern.pred,
-                tuple: tuple.into(),
-            };
-            if match_atom(&pattern, &ground).is_some() {
-                count += 1;
-                if answers.len() < limit {
-                    answers.push(Value::from(ground.to_string()));
-                }
+        let strategy_field = match request.get("strategy") {
+            None => "auto",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| ServiceError::bad_request("field 'strategy' must be a string"))?,
+        };
+        // `auto`: an adorned query (at least one bound position) goes
+        // through the demand-driven top-down path and the answer cache; an
+        // all-free pattern scans the already-materialized fixpoint, which
+        // top-down evaluation could not beat.
+        let top_down = match strategy_field {
+            "auto" => {
+                let adorned = Adornment::of_query(&pattern)
+                    .bound_positions()
+                    .next()
+                    .is_some();
+                adorned.then_some(Strategy::Magic)
             }
-        }
+            "scan" => None,
+            other => Some(Strategy::parse(other).ok_or_else(|| {
+                ServiceError::bad_request(format!(
+                    "field 'strategy' must be auto|scan|magic|qsq, got '{other}'"
+                ))
+            })?),
+        };
+        // Queries run entirely against a published state: no lock is held
+        // while evaluating or matching, so writers never stall readers.
+        let state = entry.view.state();
+        let (strategy_name, cache_name, answer_set): (&str, &str, Vec<GroundAtom>) = match top_down
+        {
+            Some(strategy) => {
+                let (answers, status, stats) = entry.query.answer(&state, &pattern, strategy);
+                entry.metrics.record_eval(stats);
+                self.metrics.record_eval(stats);
+                (strategy.name(), status.name(), answers.iter().collect())
+            }
+            None => {
+                let mut matched = Vec::new();
+                for tuple in state.fixpoint.relation(pattern.pred) {
+                    let ground = GroundAtom {
+                        pred: pattern.pred,
+                        tuple: tuple.into(),
+                    };
+                    if match_atom(&pattern, &ground).is_some() {
+                        matched.push(ground);
+                    }
+                }
+                ("scan", "bypass", matched)
+            }
+        };
+        let count = answer_set.len();
+        let answers: Vec<Value> = answer_set
+            .iter()
+            .take(limit)
+            .map(|g| Value::from(g.to_string()))
+            .collect();
         let truncated = count > answers.len();
         let response = ok_response(
             None,
@@ -396,6 +455,8 @@ impl Registry {
             [
                 ("program", Value::from(entry.name.as_str())),
                 ("atom", Value::from(atom_src)),
+                ("strategy", Value::from(strategy_name)),
+                ("cache", Value::from(cache_name)),
                 ("count", Value::from(count)),
                 ("truncated", Value::Bool(truncated)),
                 ("answers", Value::Array(answers)),
@@ -417,6 +478,13 @@ impl Registry {
                     ("atoms_removed", Value::from(entry.atoms_removed)),
                     ("rules_removed", Value::from(entry.rules_removed)),
                     ("db_atoms", Value::from(snapshot.len())),
+                    (
+                        "query_cache",
+                        Value::object([
+                            ("live_entries", Value::from(entry.query.live_entries())),
+                            ("plans", Value::from(entry.query.plans().len())),
+                        ]),
+                    ),
                     ("metrics", entry.metrics.to_json()),
                 ],
             );

@@ -16,12 +16,27 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use datalog_ast::{Database, GroundAtom, Program};
 
+/// One published, immutable state of a view: the fixpoint readers match
+/// against, the base facts top-down point queries evaluate from, and a
+/// version stamp that increments with every committed write batch. All
+/// three are swapped together, so any state a reader clones out is
+/// internally consistent — `fixpoint` is exactly the closure of `base`.
+#[derive(Clone)]
+pub struct ViewState {
+    /// The materialized fixpoint (base facts plus every derived atom).
+    pub fixpoint: Arc<Database>,
+    /// The currently asserted base facts only.
+    pub base: Arc<Database>,
+    /// Monotone commit counter; 0 for the install-time state.
+    pub version: u64,
+}
+
 /// A concurrently readable materialisation of one installed program.
 pub struct View {
     /// The mutable materialisation; serialised writers only.
     writer: Mutex<Materialized>,
-    /// The published fixpoint; swapped after every write batch.
-    published: RwLock<Arc<Database>>,
+    /// The published state; swapped after every write batch.
+    published: RwLock<ViewState>,
 }
 
 /// Recover the guard even if a previous holder panicked: every mutation
@@ -34,10 +49,14 @@ fn lock_writer(view: &View) -> MutexGuard<'_, Materialized> {
 }
 
 impl View {
-    /// Saturate `input` under `program` and publish the first snapshot.
+    /// Saturate `input` under `program` and publish the first state.
     pub fn new(program: Program, input: &Database) -> View {
         let mut writer = Materialized::new(program, input);
-        let published = RwLock::new(writer.snapshot());
+        let published = RwLock::new(ViewState {
+            fixpoint: writer.snapshot(),
+            base: Arc::new(writer.base().clone()),
+            version: 0,
+        });
         View {
             writer: Mutex::new(writer),
             published,
@@ -47,6 +66,18 @@ impl View {
     /// The most recently published fixpoint. Cheap (one `Arc` clone under a
     /// read lock held for the duration of the clone only).
     pub fn snapshot(&self) -> Arc<Database> {
+        Arc::clone(
+            &self
+                .published
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .fixpoint,
+        )
+    }
+
+    /// The most recently published full state (fixpoint, base, version).
+    /// As cheap as [`View::snapshot`]: two `Arc` clones and a `u64`.
+    pub fn state(&self) -> ViewState {
         self.published
             .read()
             .unwrap_or_else(|e| e.into_inner())
@@ -56,8 +87,24 @@ impl View {
     /// Insert a batch of base facts, propagate consequences, publish the new
     /// fixpoint. Returns the number of atoms added and the evaluation work.
     pub fn insert(&self, facts: Vec<GroundAtom>) -> (u64, Stats) {
+        self.insert_then(facts, |_| {})
+    }
+
+    /// [`View::insert`], additionally running `before_publish` with the
+    /// version about to be committed — after the batch is evaluated but
+    /// *before* the new state becomes visible, still under the writer lock.
+    /// This is the invalidation point for answer caches layered above the
+    /// view: invalidating before publication means a cache entry can never
+    /// be observed alongside a state newer than the one it was computed
+    /// from (see `crate::query`).
+    pub fn insert_then(
+        &self,
+        facts: Vec<GroundAtom>,
+        before_publish: impl FnOnce(u64),
+    ) -> (u64, Stats) {
         let mut writer = lock_writer(self);
         let (added, stats) = writer.insert_with_stats(facts);
+        before_publish(self.state().version + 1);
         self.publish(&mut writer);
         (added, stats)
     }
@@ -65,8 +112,19 @@ impl View {
     /// Remove a batch of base facts (DRed), publish the new fixpoint.
     /// Returns the number of atoms removed and the evaluation work.
     pub fn remove(&self, facts: Vec<GroundAtom>) -> (u64, Stats) {
+        self.remove_then(facts, |_| {})
+    }
+
+    /// [`View::remove`] with the same pre-publication hook as
+    /// [`View::insert_then`].
+    pub fn remove_then(
+        &self,
+        facts: Vec<GroundAtom>,
+        before_publish: impl FnOnce(u64),
+    ) -> (u64, Stats) {
         let mut writer = lock_writer(self);
         let (removed, stats) = writer.remove_with_stats(facts);
+        before_publish(self.state().version + 1);
         self.publish(&mut writer);
         (removed, stats)
     }
@@ -77,8 +135,12 @@ impl View {
     }
 
     fn publish(&self, writer: &mut MutexGuard<'_, Materialized>) {
-        let snapshot = writer.snapshot();
-        *self.published.write().unwrap_or_else(|e| e.into_inner()) = snapshot;
+        let fixpoint = writer.snapshot();
+        let base = Arc::new(writer.base().clone());
+        let mut published = self.published.write().unwrap_or_else(|e| e.into_inner());
+        published.version += 1;
+        published.fixpoint = fixpoint;
+        published.base = base;
     }
 }
 
@@ -100,6 +162,23 @@ mod tests {
         assert!(view.snapshot().contains(&fact("g", [1, 3])));
         view.remove(vec![fact("a", [1, 2])]);
         assert!(!view.snapshot().contains(&fact("g", [1, 2])));
+    }
+
+    #[test]
+    fn state_versions_advance_and_pair_base_with_fixpoint() {
+        let view = View::new(tc(), &Database::new());
+        assert_eq!(view.state().version, 0);
+        view.insert(vec![fact("a", [1, 2]), fact("a", [2, 3])]);
+        let state = view.state();
+        assert_eq!(state.version, 1);
+        assert_eq!(state.base.len(), 2);
+        assert_eq!(state.fixpoint.len(), 5);
+        // The hook sees the version about to be committed, before readers do.
+        let mut hook_version = 0;
+        view.remove_then(vec![fact("a", [2, 3])], |v| hook_version = v);
+        assert_eq!(hook_version, 2);
+        assert_eq!(view.state().version, 2);
+        assert_eq!(view.state().base.len(), 1);
     }
 
     #[test]

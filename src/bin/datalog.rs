@@ -11,7 +11,8 @@
 //!                  [--engine naive|seminaive|scc|stratified] [--stats]
 //! datalog run      <unit.dl> [--stats]                evaluate rules + facts [+ tgds] in one file
 //! datalog repl     [<program.dl>]                     interactive session
-//! datalog query    '<atom>' <program.dl> --edb <facts.dl>   magic-sets query
+//! datalog query    '<atom>'... <program.dl> --edb <facts.dl>  top-down point queries
+//!                  [--strategy magic|qsq] [--stats]          (shared plan + answer cache)
 //! datalog explain  '<atom>' <program.dl> --edb <facts.dl>   provenance proof tree
 //! datalog contains <p1.dl> <p2.dl>                    uniform containment, both ways
 //! datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N] equivalence analysis (§X–§XI)
@@ -20,7 +21,7 @@
 //!                  [--max-bytes N] [--timeout-ms N]
 //! datalog client   <addr> [request-json]...            send protocol requests (stdin if none)
 //! datalog fuzz     [--seed N] [--cases N] [--budget-ms N]   differential oracle fuzzing
-//!                  [--oracle all|engines|optimization|incremental]
+//!                  [--oracle all|engines|optimization|incremental|query-cache]
 //!                  [--format text|json] [--repro-dir DIR] [--smoke]
 //! ```
 //!
@@ -87,7 +88,7 @@ usage:
   datalog eval     <program.dl> --edb <facts.dl> [--engine naive|seminaive|scc|stratified] [--stats]
   datalog run      <unit.dl>   (rules + facts [+ tgds] in one file)
   datalog repl     [<program.dl>]   interactive session
-  datalog query    '<atom>' <program.dl> --edb <facts.dl>
+  datalog query    '<atom>'... <program.dl> --edb <facts.dl> [--strategy magic|qsq] [--stats]
   datalog explain  '<atom>' <program.dl> --edb <facts.dl>
   datalog contains <p1.dl> <p2.dl>
   datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N]
@@ -409,29 +410,51 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Answer one or more point queries top-down. All queries of one
+/// invocation share a [`QueryState`]: the magic/QSQ plan for a binding
+/// pattern is built once, and a query covered by an earlier answer set is
+/// served from the cache by §V/§VI subsumption instead of re-evaluating
+/// (visible as `[hit]`/`[subsumed]` in the `--stats` lines).
+///
+/// [`QueryState`]: sagiv_datalog::service::QueryState
 fn cmd_query(args: &[String]) -> Result<ExitCode, String> {
+    use datalog_engine::query::Strategy;
+    use sagiv_datalog::service::QueryState;
+
     let (pos, flags) = split_flags(args)?;
-    let [query_src, path] = pos.as_slice() else {
-        return Err("usage: datalog query '<atom>' <program.dl> --edb <facts.dl>".into());
+    let Some((path, query_srcs)) = pos.split_last().filter(|(_, qs)| !qs.is_empty()) else {
+        return Err(
+            "usage: datalog query '<atom>'... <program.dl> --edb <facts.dl> \
+             [--strategy magic|qsq] [--stats]"
+                .into(),
+        );
     };
-    let query = parse_atom(query_src).map_err(|e| e.to_string())?;
     let program = load_program(path)?;
     let edb = load_database(flags.get("edb").ok_or("--edb <facts.dl> is required")?)?;
-    let (answers, stats) = match flags.get("strategy").unwrap_or("magic") {
-        "magic" => magic::answer_with_stats(&program, &edb, &query),
-        "qsq" => qsq::answer_with_stats(&program, &edb, &query),
-        other => return Err(format!("unknown strategy `{other}` (magic|qsq)")),
-    };
-    for atom in answers.iter() {
-        println!("{atom}.");
+    let strategy_name = flags.get("strategy").unwrap_or("magic");
+    let strategy = Strategy::parse(strategy_name)
+        .ok_or_else(|| format!("unknown strategy `{strategy_name}` (magic|qsq)"))?;
+    let state = QueryState::new(&program);
+    let mut any_answers = false;
+    for query_src in query_srcs {
+        let query = parse_atom(query_src).map_err(|e| e.to_string())?;
+        // The CLI evaluates one fixed EDB: every query runs at version 0.
+        let (answers, status, stats) = state.answer_at(&edb, 0, &query, strategy);
+        if query_srcs.len() > 1 {
+            println!("% ?- {query}.");
+        }
+        for atom in answers.iter() {
+            println!("{atom}.");
+        }
+        any_answers |= !answers.is_empty();
+        if flags.has("stats") {
+            eprintln!("% [{}] {stats}", status.name());
+        }
     }
-    if flags.has("stats") {
-        eprintln!("% {stats}");
-    }
-    Ok(if answers.is_empty() {
-        ExitCode::from(2)
-    } else {
+    Ok(if any_answers {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     })
 }
 
@@ -677,7 +700,9 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         config.families = match v {
             "all" => Family::ALL.to_vec(),
             name => vec![Family::parse(name).ok_or_else(|| {
-                format!("--oracle: `{name}` is not all|engines|optimization|incremental")
+                format!(
+                    "--oracle: `{name}` is not all|engines|optimization|incremental|query-cache"
+                )
             })?],
         };
     }

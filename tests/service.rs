@@ -235,6 +235,155 @@ fn concurrent_clients_with_writer_and_minimizing_install() {
     expect_clean_exit(child);
 }
 
+/// Bound-argument queries go through the top-down subsumption cache; this
+/// races cached readers against a writer and checks that no committed
+/// batch is ever missing from a later answer (stale-cache detection), that
+/// every served answer set is consistent with *some* published prefix of
+/// the write stream, and that the cache counters surface in `stats`.
+#[test]
+fn cached_point_queries_racing_a_writer_see_no_stale_answers() {
+    let (child, addr) = spawn_daemon(&["--threads", "8"]);
+    let mut admin = Client::connect(&addr).expect("connect");
+    assert_ok(&request(
+        &mut admin,
+        "{\"op\":\"install\",\"program\":\"tc\",\"rules\":\"g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).\"}",
+    ));
+    assert_ok(&request(
+        &mut admin,
+        "{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a(0,1).\"}",
+    ));
+
+    // The writer grows the chain 0→1→…→17 and, after every committed
+    // batch, queries through the cached path on the same connection: the
+    // response is served at a version ≥ its own commit, so a stale cache
+    // entry would surface as a missing answer right here.
+    let writer_addr = addr.clone();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(&writer_addr).expect("writer connect");
+        for i in 1..=16i64 {
+            assert_ok(&request(
+                &mut c,
+                &format!(
+                    "{{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a({i},{}).\"}}",
+                    i + 1
+                ),
+            ));
+            let resp = request(
+                &mut c,
+                "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, X)\"}",
+            );
+            assert_ok(&resp);
+            assert_eq!(resp.get("strategy").unwrap().as_str(), Some("magic"));
+            assert_eq!(
+                resp.get("count").unwrap().as_u64(),
+                Some((i + 1) as u64),
+                "after inserting a({i},{}) the cached path misses answers: {resp}",
+                i + 1
+            );
+        }
+        // DRed removal must invalidate too: cutting the chain at 8→9
+        // shrinks g(0, X) to exactly the surviving prefix.
+        assert_ok(&request(
+            &mut c,
+            "{\"op\":\"remove\",\"program\":\"tc\",\"facts\":\"a(8,9).\"}",
+        ));
+        let resp = request(
+            &mut c,
+            "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, X)\"}",
+        );
+        assert_eq!(resp.get("count").unwrap().as_u64(), Some(8), "{resp}");
+    });
+
+    // Readers hammer the same bound query. The base is always a prefix
+    // chain from 0, so every served answer set must be {(0,1)..(0,k)} for
+    // some k — a torn or stale-mixed set would have gaps.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("reader connect");
+                for _ in 0..40 {
+                    let resp = request(
+                        &mut c,
+                        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, X)\"}",
+                    );
+                    assert_ok(&resp);
+                    let cache = resp.get("cache").unwrap().as_str().unwrap();
+                    assert!(
+                        ["hit", "subsumed", "miss"].contains(&cache),
+                        "unexpected cache status {cache}"
+                    );
+                    let g: std::collections::BTreeSet<(i64, i64)> =
+                        pairs(&resp).into_iter().collect();
+                    let k = g.len() as i64;
+                    for j in 1..=k {
+                        assert!(
+                            g.contains(&(0, j)),
+                            "answers are not a chain prefix (missing g(0, {j})): {resp}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Quiescent: a repeated query must be a cache hit with the exact final
+    // closure, and the counters must show up in `stats`.
+    let resp = request(
+        &mut admin,
+        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, X)\"}",
+    );
+    assert_ok(&resp);
+    let resp = request(
+        &mut admin,
+        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, X)\"}",
+    );
+    assert_eq!(resp.get("cache").unwrap().as_str(), Some("hit"), "{resp}");
+    assert_eq!(resp.get("count").unwrap().as_u64(), Some(8));
+    // g(0, 3) is covered by the cached g(0, X): subsumption, no evaluation.
+    let resp = request(
+        &mut admin,
+        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(0, 3)\"}",
+    );
+    assert_eq!(
+        resp.get("cache").unwrap().as_str(),
+        Some("subsumed"),
+        "{resp}"
+    );
+    assert_eq!(resp.get("count").unwrap().as_u64(), Some(1));
+
+    let resp = request(&mut admin, "{\"op\":\"stats\",\"program\":\"tc\"}");
+    assert_ok(&resp);
+    let cache_gauges = resp.get("query_cache").unwrap();
+    assert!(cache_gauges.get("live_entries").unwrap().as_u64().unwrap() >= 1);
+    assert!(cache_gauges.get("plans").unwrap().as_u64().unwrap() >= 1);
+    let eval = resp.get("metrics").unwrap().get("eval").unwrap();
+    assert!(eval.get("query_cache_hits").unwrap().as_u64().unwrap() >= 1);
+    assert!(eval.get("query_cache_misses").unwrap().as_u64().unwrap() >= 1);
+    assert!(
+        eval.get("query_cache_subsumption_hits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        eval.get("query_cache_invalidations")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+
+    assert_ok(&request(&mut admin, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
 #[test]
 fn robustness_against_malformed_and_hostile_input() {
     let (child, addr) = spawn_daemon(&[

@@ -1,4 +1,4 @@
-//! Columnar arena-backed relation storage.
+//! Columnar arena-backed relation storage with dictionary-encoded columns.
 //!
 //! A [`Relation`] stores every tuple of one predicate (at one arity) in a
 //! single flat `Vec<Const>` arena. Rows are addressed by dense `u32` row-ids
@@ -7,17 +7,31 @@
 //! row *views*: a map from row hash to the ids carrying that hash, with
 //! collision chains resolved by comparing slices against the arena.
 //!
+//! Alongside the row arena, every column carries a **dictionary-encoded code
+//! column**: a per-(relation, position) [`Dict`] interns each distinct
+//! [`Const`] to a dense `u32` code, and `cols[k].codes[id]` is row `id`'s
+//! code at position `k`. Codes make join-key equality an integer compare and
+//! key hashing a fold over `u32`s — the engine's index postings and
+//! specialized join kernels work entirely in code space and only decode back
+//! to `Const`s when a head tuple is emitted. Dictionaries are append-only:
+//! a code, once assigned, never changes meaning, even across swap-removes
+//! (the code *column* is compacted; the dictionary is not), so caches keyed
+//! on codes stay valid for the lifetime of a storage generation.
+//!
 //! The whole structure lives behind an `Arc` with copy-on-write semantics:
 //! cloning a `Relation` (and hence a `Database`) is a reference-count bump,
 //! so snapshot publication in the service layer is O(1) and a snapshot's
-//! arenas are shared until the next mutation touches them.
+//! arenas are shared until the next mutation touches them. All mutation
+//! paths unshare through one choke point ([`Relation::make_mut`]) which also
+//! drops the lazily built sorted-id cache — an unshare clones a *populated*
+//! cache that would silently go stale under the first mutation otherwise.
 //!
 //! Insertion order is an engine-internal detail. Anything observable — set
 //! equality, `Display`, [`crate::Database::iter`] — goes through
-//! [`Relation::iter_sorted`], which yields rows in tuple order via a lazily
-//! built, mutation-invalidated cache of sorted row-ids. This keeps the §III
-//! "a database is a set of ground atoms" semantics (and the deterministic
-//! rendering the repro fixtures depend on) independent of insertion history.
+//! [`Relation::iter_sorted`], which yields rows in tuple order via the
+//! sorted-id cache. This keeps the §III "a database is a set of ground
+//! atoms" semantics (and the deterministic rendering the repro fixtures
+//! depend on) independent of insertion history.
 
 use crate::symbol::Var;
 use crate::term::Const;
@@ -59,6 +73,46 @@ fn fold(h: u64, x: u64) -> u64 {
     (h.rotate_left(5) ^ x).wrapping_mul(FX)
 }
 
+/// FX-fold streaming hasher for dictionary maps keyed by [`Const`].
+/// Dictionary lookups sit on the engine's probe path, so the default
+/// SipHash would be pure overhead for a 16-byte `Copy` key.
+#[derive(Default)]
+pub struct FxConstHasher(u64);
+
+impl Hasher for FxConstHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = fold(self.0, b as u64);
+        }
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.0 = fold(self.0, n as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = fold(self.0, n as u64);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = fold(self.0, n);
+    }
+
+    fn write_i64(&mut self, n: i64) {
+        self.0 = fold(self.0, n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.0 = fold(self.0, n as u64);
+    }
+}
+
+type ConstMap<V> = HashMap<Const, V, BuildHasherDefault<FxConstHasher>>;
+
 /// Deterministic, well-mixed hash of a row of constants. Stable within a
 /// process run (symbol ids are interning-order dependent across runs).
 #[inline]
@@ -74,6 +128,33 @@ pub fn hash_row(row: &[Const]) -> u64 {
         h = fold(fold(h, tag), payload);
     }
     h
+}
+
+/// Deterministic hash of a projected key in dictionary-code space. This is
+/// the hash the engine's index postings and specialized kernels agree on:
+/// both sides of a join fold the same target-relation codes, so a probe is
+/// one integer fold per key column plus an identity-hash map lookup.
+#[inline]
+pub fn hash_codes(codes: &[u32]) -> u64 {
+    let mut h = fold(0x9e37_79b9_7f4a_7c15, codes.len() as u64);
+    for &c in codes {
+        h = fold(h, c as u64);
+    }
+    h
+}
+
+/// Incremental variant of [`hash_codes`] for kernels that fold keys column
+/// by column without materializing a key buffer. Seed with
+/// [`hash_codes_seed`], then fold each code in key-position order.
+#[inline]
+pub fn hash_codes_seed(len: usize) -> u64 {
+    fold(0x9e37_79b9_7f4a_7c15, len as u64)
+}
+
+/// See [`hash_codes_seed`].
+#[inline]
+pub fn hash_codes_fold(h: u64, code: u32) -> u64 {
+    fold(h, code as u64)
 }
 
 /// Row-ids sharing one hash bucket. The single-id case is by far the common
@@ -93,16 +174,64 @@ impl Ids {
     }
 }
 
+/// Append-only interner from [`Const`] to dense `u32` codes for one column.
+/// Codes are assigned in first-appearance order and are never reused or
+/// remapped; removing rows shrinks the code column but not the dictionary.
+#[derive(Clone, Default)]
+struct Dict {
+    /// code → constant (dense).
+    vals: Vec<Const>,
+    /// constant → code.
+    codes: ConstMap<u32>,
+}
+
+impl Dict {
+    #[inline]
+    fn lookup(&self, c: Const) -> Option<u32> {
+        self.codes.get(&c).copied()
+    }
+
+    #[inline]
+    fn intern(&mut self, c: Const) -> u32 {
+        match self.codes.entry(c) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let code = self.vals.len() as u32;
+                self.vals.push(c);
+                e.insert(code);
+                code
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<Const>()
+            + self.codes.capacity() * (std::mem::size_of::<Const>() + std::mem::size_of::<u32>())
+    }
+}
+
+/// One column of a relation: its dictionary plus the row-id-indexed code
+/// vector (`codes.len() == len`, kept in lock-step with the row arena).
+#[derive(Clone, Default)]
+struct Col {
+    dict: Dict,
+    codes: Vec<u32>,
+}
+
 #[derive(Clone)]
 struct Inner {
     arity: usize,
     /// Flat row storage: row `i` occupies `arena[i*arity .. (i+1)*arity]`.
+    /// This is the decode/iteration store; joins run on `cols`.
     arena: Vec<Const>,
     /// Row count (explicit so arity-0 relations can hold the empty tuple).
     len: u32,
+    /// Per-position dictionary-encoded code columns (`cols.len() == arity`).
+    cols: Vec<Col>,
     /// Dedup set over row views: row hash → ids with that hash.
     buckets: RowHashMap<Ids>,
-    /// Row-ids in tuple order, built lazily, dropped on every mutation.
+    /// Row-ids in tuple order, built lazily, dropped on every unshare or
+    /// mutation (see [`Relation::make_mut`]).
     sorted: OnceLock<Box<[u32]>>,
 }
 
@@ -167,6 +296,7 @@ impl Relation {
                 arity,
                 arena: Vec::new(),
                 len: 0,
+                cols: vec![Col::default(); arity],
                 buckets: RowHashMap::default(),
                 sorted: OnceLock::new(),
             }),
@@ -191,11 +321,66 @@ impl Relation {
         self.inner.arena.capacity() * std::mem::size_of::<Const>()
     }
 
+    /// Bytes held by the dictionary encoding: code columns plus
+    /// dictionaries (capacity, not just live entries).
+    pub fn dict_bytes(&self) -> usize {
+        self.inner
+            .cols
+            .iter()
+            .map(|c| c.codes.capacity() * std::mem::size_of::<u32>() + c.dict.bytes())
+            .sum()
+    }
+
+    /// Unshare the storage for mutation. **Every mutation path must go
+    /// through here.** `Arc::make_mut` on a shared `Inner` clones a
+    /// *populated* sorted-id cache; dropping it at the unshare boundary —
+    /// before any caller mutates — is what keeps `iter_sorted` correct on
+    /// both sides of a copy-on-write split. Centralizing the invalidation
+    /// means no mutation path can forget it.
+    fn make_mut(&mut self) -> &mut Inner {
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.sorted.take();
+        inner
+    }
+
     /// The row for `id`. Panics on out-of-range ids.
     #[inline]
     pub fn row(&self, id: u32) -> &[Const] {
         debug_assert!(id < self.inner.len, "row id out of range");
         self.inner.row(id)
+    }
+
+    /// The dictionary code column for position `col`, indexed by row-id.
+    #[inline]
+    pub fn codes(&self, col: usize) -> &[u32] {
+        &self.inner.cols[col].codes
+    }
+
+    /// Row `id`'s dictionary code at position `col`.
+    #[inline]
+    pub fn code_at(&self, col: usize, id: u32) -> u32 {
+        self.inner.cols[col].codes[id as usize]
+    }
+
+    /// Decode a column-local code back to its constant. Panics on codes
+    /// never handed out by this column's dictionary.
+    #[inline]
+    pub fn decode(&self, col: usize, code: u32) -> Const {
+        self.inner.cols[col].dict.vals[code as usize]
+    }
+
+    /// The code `c` was interned under in position `col`'s dictionary, or
+    /// `None` if `c` has never appeared in that column — in which case no
+    /// row can match it, so probe paths early-out without touching rows.
+    #[inline]
+    pub fn lookup_code(&self, col: usize, c: Const) -> Option<u32> {
+        self.inner.cols[col].dict.lookup(c)
+    }
+
+    /// Number of distinct constants ever interned in position `col`
+    /// (append-only: removals do not shrink it).
+    pub fn dict_len(&self, col: usize) -> usize {
+        self.inner.cols[col].dict.vals.len()
     }
 
     /// The id of `row`, if present.
@@ -220,9 +405,13 @@ impl Relation {
         if self.inner.find_hashed(h, row).is_some() {
             return None;
         }
-        let inner = Arc::make_mut(&mut self.inner);
+        let inner = self.make_mut();
         let id = inner.len;
         inner.arena.extend_from_slice(row);
+        for (col, &c) in inner.cols.iter_mut().zip(row) {
+            let code = col.dict.intern(c);
+            col.codes.push(code);
+        }
         inner.len += 1;
         match inner.buckets.entry(h) {
             Entry::Vacant(e) => {
@@ -230,13 +419,14 @@ impl Relation {
             }
             Entry::Occupied(mut e) => e.get_mut().push(id),
         }
-        inner.sorted = OnceLock::new();
         Some(id)
     }
 
     /// Remove a row; returns `true` if it was present. The last row is
     /// swap-moved into the hole, so removal invalidates previously handed
-    /// out row-ids (engine index stores are rebuilt after removals).
+    /// out row-ids (engine index stores are rebuilt after removals). Codes
+    /// are *stable* across removal: the dictionary is append-only, so the
+    /// swapped-in row keeps the codes it was interned under.
     pub fn remove(&mut self, row: &[Const]) -> bool {
         if row.len() != self.inner.arity {
             return false;
@@ -245,7 +435,7 @@ impl Relation {
         let Some(id) = self.inner.find_hashed(h, row) else {
             return false;
         };
-        let inner = Arc::make_mut(&mut self.inner);
+        let inner = self.make_mut();
         let last = inner.len - 1;
         inner.bucket_remove(h, id);
         if id != last {
@@ -255,11 +445,16 @@ impl Relation {
             for k in 0..a {
                 inner.arena[dst + k] = inner.arena[src + k];
             }
+            for col in &mut inner.cols {
+                col.codes[id as usize] = col.codes[last as usize];
+            }
             inner.bucket_replace(last_hash, last, id);
         }
         inner.arena.truncate(last as usize * inner.arity);
+        for col in &mut inner.cols {
+            col.codes.truncate(last as usize);
+        }
         inner.len = last;
-        inner.sorted = OnceLock::new();
         true
     }
 
@@ -360,6 +555,58 @@ mod tests {
     }
 
     #[test]
+    fn codes_mirror_rows() {
+        let mut rel = Relation::new(2);
+        rel.insert(&r(&[10, 20]));
+        rel.insert(&r(&[10, 30]));
+        rel.insert(&r(&[40, 20]));
+        // Column 0 saw 10 then 40; column 1 saw 20 then 30.
+        assert_eq!(rel.codes(0), &[0, 0, 1]);
+        assert_eq!(rel.codes(1), &[0, 1, 0]);
+        assert_eq!(rel.dict_len(0), 2);
+        assert_eq!(rel.dict_len(1), 2);
+        for (id, row) in rel.iter_with_ids() {
+            for (k, &c) in row.iter().enumerate() {
+                let code = rel.code_at(k, id);
+                assert_eq!(rel.decode(k, code), c);
+                assert_eq!(rel.lookup_code(k, c), Some(code));
+            }
+        }
+        // Never-seen constants have no code (probe early-out).
+        assert_eq!(rel.lookup_code(0, Const::Int(20)), None, "column-local");
+        assert_eq!(rel.lookup_code(1, Const::Int(10)), None);
+    }
+
+    #[test]
+    fn codes_stable_across_swap_remove() {
+        let mut rel = Relation::new(1);
+        for i in 0..5i64 {
+            rel.insert(&r(&[i]));
+        }
+        let code_of_4 = rel.lookup_code(0, Const::Int(4)).unwrap();
+        assert!(rel.remove(&r(&[1])));
+        // Row 4 swapped into slot 1 keeps its original code; the dictionary
+        // still answers for the removed constant (append-only).
+        assert_eq!(rel.code_at(0, 1), code_of_4);
+        assert_eq!(rel.decode(0, code_of_4), Const::Int(4));
+        assert_eq!(rel.lookup_code(0, Const::Int(1)), Some(1));
+        assert_eq!(rel.dict_len(0), 5);
+        assert_eq!(rel.codes(0).len(), rel.len());
+    }
+
+    #[test]
+    fn hash_codes_matches_incremental_fold() {
+        let key = [3u32, 7, 11];
+        let mut h = hash_codes_seed(key.len());
+        for &c in &key {
+            h = hash_codes_fold(h, c);
+        }
+        assert_eq!(h, hash_codes(&key));
+        assert_ne!(hash_codes(&[1]), hash_codes(&[1, 1]));
+        assert_ne!(hash_codes(&[1, 2]), hash_codes(&[2, 1]));
+    }
+
+    #[test]
     fn sorted_iteration_is_tuple_order() {
         let mut rel = Relation::new(1);
         for i in [9i64, 1, 5, 3] {
@@ -429,6 +676,42 @@ mod tests {
         assert!(!a.shares_storage_with(&b));
         assert_eq!(b.len(), 1, "snapshot unaffected by later writes");
         assert_eq!(a.len(), 2);
+    }
+
+    /// Regression pin for the sorted-id cache across a copy-on-write split.
+    /// Unsharing clones a *populated* cache; if the unshare path failed to
+    /// drop it, the writer's `iter_sorted` would replay the snapshot's row
+    /// set. Both handles must see exactly their own contents, in order.
+    #[test]
+    fn sorted_cache_invalidated_on_unshare() {
+        let sorted_vals = |rel: &Relation| -> Vec<i64> {
+            rel.iter_sorted()
+                .map(|row| match row[0] {
+                    Const::Int(i) => i,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let mut a = Relation::new(1);
+        for i in [5i64, 1, 9] {
+            a.insert(&r(&[i]));
+        }
+        let b = a.clone();
+        // Populate the cache while the storage is shared (Arc > 1).
+        assert_eq!(sorted_vals(&a), vec![1, 5, 9]);
+        assert!(a.shares_storage_with(&b));
+        // Mutate one side: `make_mut` unshares mid-mutation and must drop
+        // the cloned (populated) cache before the write lands.
+        a.insert(&r(&[3]));
+        assert!(!a.shares_storage_with(&b));
+        assert_eq!(sorted_vals(&a), vec![1, 3, 5, 9]);
+        assert_eq!(sorted_vals(&b), vec![1, 5, 9], "snapshot order intact");
+        // Same discipline on the remove path, against an already-populated
+        // writer-side cache.
+        let c = a.clone();
+        a.remove(&r(&[5]));
+        assert_eq!(sorted_vals(&a), vec![1, 3, 9]);
+        assert_eq!(sorted_vals(&c), vec![1, 3, 5, 9]);
     }
 
     #[test]

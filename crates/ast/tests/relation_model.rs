@@ -7,7 +7,11 @@
 //! cardinality, mutation return values, or sorted iteration order is a
 //! storage-layer bug.
 //!
-//! A second suite drives whole [`Database`]s and checks that §III set
+//! A second suite targets the dictionary-encoded code columns: intern /
+//! resolve round-trips, append-only code stability across swap-remove, and
+//! copy-on-write snapshot isolation under interleaved mutation.
+//!
+//! A third suite drives whole [`Database`]s and checks that §III set
 //! equality (including the empty-bucket pruning regression from the
 //! incremental-maintenance PR) is preserved by the columnar swap.
 
@@ -117,6 +121,130 @@ proptest! {
         let probe: Vec<Const> = (0..arity as i64).map(|_| Const::Int(99)).collect();
         if arity > 0 && diverged.insert(&probe).is_some() {
             prop_assert_ne!(&forward, &diverged);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    // Dictionary intern/resolve round-trip: every stored cell decodes back
+    // through its column code to the original constant, the reverse lookup
+    // returns that same code, and the per-column code vectors stay exactly
+    // parallel to the live rows.
+    #[test]
+    fn dictionary_intern_resolve_round_trip((arity, ops) in ops_strategy()) {
+        let mut rel = Relation::new(arity);
+        for op in &ops {
+            match op {
+                Op::Insert(row) => { rel.insert(row); }
+                Op::Remove(row) => { rel.remove(row); }
+            }
+        }
+        for col in 0..arity {
+            prop_assert_eq!(rel.codes(col).len(), rel.len());
+        }
+        for (id, row) in rel.iter_with_ids() {
+            for (col, &c) in row.iter().enumerate() {
+                let code = rel.code_at(col, id);
+                prop_assert_eq!(rel.decode(col, code), c);
+                prop_assert_eq!(rel.lookup_code(col, c), Some(code));
+                prop_assert!((code as usize) < rel.dict_len(col));
+            }
+        }
+    }
+
+    // Code stability across swap-remove: dictionaries are append-only, so
+    // the code a constant interns to on first sight never changes — not
+    // across later inserts, and not across swap-removes that compact the
+    // code columns. Join-side state keyed on codes (postings, xlate
+    // caches) relies on exactly this.
+    #[test]
+    fn dictionary_codes_stable_across_swap_remove((arity, ops) in ops_strategy()) {
+        let mut rel = Relation::new(arity);
+        let mut first_code: Vec<std::collections::BTreeMap<Const, u32>> =
+            vec![std::collections::BTreeMap::new(); arity];
+        for op in &ops {
+            match op {
+                Op::Insert(row) => {
+                    rel.insert(row);
+                    for (col, &c) in row.iter().enumerate() {
+                        let code = rel.lookup_code(col, c)
+                            .expect("inserted constant must be interned");
+                        // First sighting pins the code; every later
+                        // sighting (and every later op) must agree.
+                        let pinned = *first_code[col].entry(c).or_insert(code);
+                        prop_assert_eq!(code, pinned, "col {} const {:?}", col, c);
+                    }
+                }
+                Op::Remove(row) => {
+                    rel.remove(row);
+                }
+            }
+            // Swap-remove compacts the code columns but never remaps the
+            // dictionary: all previously pinned codes still resolve.
+            for (col, pins) in first_code.iter().enumerate() {
+                for (&c, &code) in pins {
+                    prop_assert_eq!(rel.lookup_code(col, c), Some(code));
+                    prop_assert_eq!(rel.decode(col, code), c);
+                }
+            }
+        }
+    }
+
+    // CoW snapshot isolation: a cloned relation is a frozen snapshot.
+    // Mutating either side after the clone must never leak into the other —
+    // membership, sorted iteration, and column codes all stay consistent
+    // with each side's own history.
+    #[test]
+    fn cow_snapshot_isolation_under_interleaved_ops(
+        (arity, ops) in ops_strategy(),
+        split in 0usize..60,
+        to_snapshot in prop::bool::weighted(0.5),
+    ) {
+        let split = split.min(ops.len());
+        let (prefix, suffix) = ops.split_at(split);
+        let mut model: BTreeSet<Box<[Const]>> = BTreeSet::new();
+        let mut rel = Relation::new(arity);
+        for op in prefix {
+            match op {
+                Op::Insert(row) => { rel.insert(row); model.insert(row.as_slice().into()); }
+                Op::Remove(row) => { rel.remove(row); model.remove(row.as_slice()); }
+            }
+        }
+        // Touch the sorted cache so the snapshot shares a built cache.
+        let _ = rel.iter_sorted().count();
+        let snapshot = rel.clone();
+        let frozen = model.clone();
+        // The suffix mutates one side only; alternate which side moves on.
+        let (mover, held) = if to_snapshot {
+            (snapshot, rel)
+        } else {
+            (rel, snapshot)
+        };
+        let mut mover = mover;
+        for op in suffix {
+            match op {
+                Op::Insert(row) => { mover.insert(row); model.insert(row.as_slice().into()); }
+                Op::Remove(row) => { mover.remove(row); model.remove(row.as_slice()); }
+            }
+        }
+        // Held side: still exactly the frozen model.
+        prop_assert_eq!(held.len(), frozen.len());
+        let got: Vec<&[Const]> = held.iter_sorted().collect();
+        let want: Vec<&[Const]> = frozen.iter().map(|r| &**r).collect();
+        prop_assert_eq!(got, want);
+        // Moving side: exactly the final model, with coherent codes.
+        prop_assert_eq!(mover.len(), model.len());
+        let got: Vec<&[Const]> = mover.iter_sorted().collect();
+        let want: Vec<&[Const]> = model.iter().map(|r| &**r).collect();
+        prop_assert_eq!(got, want);
+        for side in [&held, &mover] {
+            for (id, row) in side.iter_with_ids() {
+                for (col, &c) in row.iter().enumerate() {
+                    prop_assert_eq!(side.decode(col, side.code_at(col, id)), c);
+                }
+            }
         }
     }
 }

@@ -1,9 +1,9 @@
-//! Regenerate every experiment of EXPERIMENTS.md (E1–E18) and print
+//! Regenerate every experiment of EXPERIMENTS.md (E1–E20) and print
 //! paper-claim vs. measured rows. Also writes `experiments.json` with the
 //! raw series, plus one `BENCH_<experiment>.json` file and matching
 //! machine-readable `BENCH_<experiment>.json {...}` stdout line per
-//! perf-trajectory experiment (E16, E17, E18), so CI logs and committed
-//! artifacts track regressions across PRs.
+//! perf-trajectory experiment (E16, E17, E18, E20), so CI logs and
+//! committed artifacts track regressions across PRs.
 //!
 //! Run with: `cargo run -p datalog-bench --bin experiments --release`
 //!
@@ -12,7 +12,8 @@
 //!   smoke target).
 //! * `--only-e17` — run only the E17 storage-layer microbenchmark.
 //! * `--only-e18` — run only the E18 point-query cache benchmark.
-//! * `--smoke` — shrink E16/E17/E18 workloads and skip wall-time
+//! * `--only-e20` — run only the E20 columnar join-kernel microbenchmark.
+//! * `--smoke` — shrink E16/E17/E18/E20 workloads and skip wall-time
 //!   acceptance checks, so shared CI runners only verify correctness
 //!   invariants.
 
@@ -66,12 +67,18 @@ fn main() {
     let only_e16 = args.iter().any(|a| a == "--only-e16");
     let only_e17 = args.iter().any(|a| a == "--only-e17");
     let only_e18 = args.iter().any(|a| a == "--only-e18");
+    let only_e20 = args.iter().any(|a| a == "--only-e20");
     let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(unknown) = args
-        .iter()
-        .find(|a| *a != "--only-e16" && *a != "--only-e17" && *a != "--only-e18" && *a != "--smoke")
-    {
-        eprintln!("unknown flag {unknown}; supported: --only-e16 --only-e17 --only-e18 --smoke");
+    if let Some(unknown) = args.iter().find(|a| {
+        *a != "--only-e16"
+            && *a != "--only-e17"
+            && *a != "--only-e18"
+            && *a != "--only-e20"
+            && *a != "--smoke"
+    }) {
+        eprintln!(
+            "unknown flag {unknown}; supported: --only-e16 --only-e17 --only-e18 --only-e20 --smoke"
+        );
         std::process::exit(2);
     }
     let mut r = Report {
@@ -79,7 +86,7 @@ fn main() {
         failures: 0,
     };
 
-    let run_all = !only_e16 && !only_e17 && !only_e18;
+    let run_all = !only_e16 && !only_e17 && !only_e18 && !only_e20;
     if run_all {
         e1_to_e15(&mut r);
     }
@@ -92,6 +99,9 @@ fn main() {
     if run_all || only_e18 {
         e18(&mut r, smoke);
     }
+    if run_all || only_e20 {
+        e20(&mut r, smoke);
+    }
 
     // Persist raw rows.
     let json =
@@ -102,7 +112,7 @@ fn main() {
     // One compact machine-readable artifact + stdout line per
     // perf-trajectory experiment, so CI logs can be grepped for `BENCH_`
     // and the files can be committed to track regressions across PRs.
-    const TRACKED: [&str; 3] = ["E16", "E17", "E18"];
+    const TRACKED: [&str; 4] = ["E16", "E17", "E18", "E20"];
     let mut by_experiment: std::collections::BTreeMap<&str, Vec<&Row>> = Default::default();
     for row in &r.rows {
         if TRACKED.contains(&row.experiment.as_str()) {
@@ -1074,4 +1084,220 @@ fn e18(r: &mut Report, smoke: bool) {
         &format!("{workload}: post-churn cached answers match a from-scratch evaluation"),
         *post == reference,
     );
+}
+
+/// E20 — specialized columnar join kernels microbenchmark.
+///
+/// Isolates the two layers introduced with the dictionary-encoded storage:
+///
+/// * `layout` — gathering one join-key column from a million-row relation
+///   via the contiguous `u32` code column vs re-reading each arena row and
+///   matching the `Const` out of it (the row-at-a-time engine's access
+///   pattern);
+/// * `probe`  — a full two-atom join fixpoint on the same million-row EDB,
+///   batched monomorphized hash-join kernel (default) vs the scalar
+///   row-at-a-time interpreter (`EvalOptions::interpreted()`). Both must
+///   produce identical fixpoints and identical match/derivation counts —
+///   the kernel is only allowed to be faster, never different.
+///
+/// The workload joins a small driver relation `f` against `e` (10⁶ rows,
+/// key column drawn from a 4096-value domain). Half of `f`'s keys lie
+/// outside `e`'s key domain, so the kernel's dictionary-absence fast path
+/// and the batched gather → probe → verify → emit pipeline both light up,
+/// while the head projection keeps the derived relation tiny (the ~5·10⁵
+/// candidate-row probes dominate, not emit cost).
+fn e20(r: &mut Report, smoke: bool) {
+    use datalog_ast::{Const, Database, GroundAtom, Pred};
+    use datalog_engine::EvalOptions;
+
+    println!("== E20: specialized columnar join kernels ==");
+    let n: usize = if smoke { 60_000 } else { 1_000_000 };
+    let keys: i64 = 4096;
+    let workload = format!("join-e{n}");
+
+    let mut db = Database::new();
+    for i in 0..n as i64 {
+        db.insert(GroundAtom::new(
+            "e",
+            vec![Const::Int(i), Const::Int(i % keys)],
+        ));
+    }
+    // Driver relation: the planner puts the small side outermost, so `f`
+    // drives the probe into the million-row `e` index. Half its keys lie
+    // outside `e`'s key domain and are answered by the dictionary alone
+    // (no code for the constant ⇒ no row can match).
+    for j in (0..2 * keys).step_by(2) {
+        db.insert(GroundAtom::new("f", vec![Const::Int(j), Const::Int(j + 1)]));
+    }
+    let program = parse_program("t(Y, Z) :- e(X, Y), f(Y, Z).").unwrap();
+
+    // -- layout: code-column gather vs arena row gather ----------------
+    let rel = db
+        .relation_of(Pred::new("e"), 2)
+        .expect("e relation exists");
+    let rows = rel.len() as u32;
+    let t_col = ms(
+        || {
+            let mut acc = 0u64;
+            for &code in rel.codes(1) {
+                acc = acc.wrapping_add(code as u64);
+            }
+            std::hint::black_box(acc);
+        },
+        if smoke { 3 } else { 10 },
+    );
+    let t_row = ms(
+        || {
+            let mut acc = 0u64;
+            for id in 0..rows {
+                if let Const::Int(v) = rel.row(id)[1] {
+                    acc = acc.wrapping_add(v as u64);
+                }
+            }
+            std::hint::black_box(acc);
+        },
+        if smoke { 3 } else { 10 },
+    );
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "row-gather",
+        n as u64,
+        t_row,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "col-gather",
+        n as u64,
+        t_col,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "speedup-layout",
+        n as u64,
+        t_row / t_col,
+        "x",
+    ));
+
+    // -- probe: batched specialized kernel vs scalar interpreter -------
+    let reps = if smoke { 1 } else { 2 };
+    let mut outputs = Vec::new();
+    let mut spec_stats = Default::default();
+    let t_spec = ms(
+        || {
+            let (out, stats) =
+                seminaive::evaluate_with_opts(&program, &db, EvalOptions::sequential());
+            outputs.push(out);
+            spec_stats = stats;
+        },
+        reps,
+    );
+    let mut interp_stats = Default::default();
+    let t_interp = ms(
+        || {
+            let (out, stats) =
+                seminaive::evaluate_with_opts(&program, &db, EvalOptions::interpreted());
+            outputs.push(out);
+            interp_stats = stats;
+        },
+        reps,
+    );
+
+    let first = &outputs[0];
+    r.check(
+        "E20",
+        &format!(
+            "{workload}: specialized and interpreted fixpoints are identical \
+             ({} derived atoms)",
+            first.len() - db.len()
+        ),
+        outputs.iter().all(|o| o == first),
+    );
+    r.check(
+        "E20",
+        &format!(
+            "{workload}: executors agree on logical work \
+             (matches {} = {}, derivations {} = {})",
+            spec_stats.matches,
+            interp_stats.matches,
+            spec_stats.derivations,
+            interp_stats.derivations
+        ),
+        spec_stats.matches == interp_stats.matches
+            && spec_stats.derivations == interp_stats.derivations,
+    );
+    r.check(
+        "E20",
+        &format!(
+            "{workload}: kernel counters light up on the specialized run only \
+             (specialized {} vs {}, batched rows {} vs {}, dict-filtered {})",
+            spec_stats.specialized_tasks,
+            interp_stats.specialized_tasks,
+            spec_stats.batch_probe_rows,
+            interp_stats.batch_probe_rows,
+            spec_stats.dict_filtered_probes,
+        ),
+        spec_stats.specialized_tasks > 0
+            && spec_stats.batch_probe_rows > 0
+            && spec_stats.dict_filtered_probes > 0
+            && interp_stats.specialized_tasks == 0
+            && interp_stats.batch_probe_rows == 0,
+    );
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "interpreted",
+        n as u64,
+        t_interp,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "specialized",
+        n as u64,
+        t_spec,
+        "ms",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "speedup-probe",
+        n as u64,
+        t_interp / t_spec,
+        "x",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "batch-probe-rows",
+        n as u64,
+        spec_stats.batch_probe_rows as f64,
+        "rows",
+    ));
+    r.row(Row::new(
+        "E20",
+        &workload,
+        "dict-filtered",
+        n as u64,
+        spec_stats.dict_filtered_probes as f64,
+        "probes",
+    ));
+    if !smoke {
+        r.check(
+            "E20",
+            &format!(
+                "{workload}: batched specialized probes ≥ 1.5x over the scalar \
+                 interpreter ({:.1}ms vs {:.1}ms, {:.2}x)",
+                t_spec,
+                t_interp,
+                t_interp / t_spec
+            ),
+            t_interp / t_spec >= 1.5,
+        );
+    }
 }

@@ -8,30 +8,36 @@
 //! fixes both, and since the columnar-storage work it does so without
 //! copying tuples at all:
 //!
-//! * **Incremental row-id indexes.** The context owns an [`IndexStore`] of
-//!   per-`(pred, arity, positions)` postings lists that live across
-//!   fixpoint rounds: a map from the *hash* of the projected key to the
-//!   `u32` row-ids carrying it in the database's arena ([`Relation`]).
-//!   Indexes hold ids, not tuples, so building one is a scan without
-//!   allocation-per-row and appending a derived row is pushing one `u32`
-//!   per live index ([`Stats::index_appends`]); an index is built at most
-//!   once per pattern per context ([`Stats::index_builds`]). The
-//!   invariant: **every mutation of the context database flows through the
-//!   context**, so ids always resolve against the exact arena they were
-//!   taken from (insertions are append-only and keep ids stable; deletions
+//! * **Incremental row-id indexes in dictionary-code space.** The context
+//!   owns an [`IndexStore`] of per-`(pred, arity, positions)` postings
+//!   lists that live across fixpoint rounds: a map from the hash of the
+//!   projected **dictionary codes** (see [`Relation::codes`]) to the `u32`
+//!   row-ids carrying it in the database's arena. Building an index is a
+//!   fold over `u32` code columns — it never touches the row arena — and
+//!   appending a derived row is pushing one `u32` per live index
+//!   ([`Stats::index_appends`]); an index is built at most once per pattern
+//!   per context ([`Stats::index_builds`]). The invariant: **every
+//!   mutation of the context database flows through the context**, so ids
+//!   always resolve against the exact arena they were taken from
+//!   (insertions are append-only and keep ids stable; deletions
 //!   conservatively clear the store, which re-fills lazily).
 //!
-//! * **Compiled join scripts.** Because the variable-binding pattern of a
-//!   join is fully determined by the rule plan and the atom order, each
-//!   `(rule, order)` pair compiles once per round into a [`JoinScript`]
-//!   whose steps know statically which index to probe, how to build the
-//!   probe key, and which tuple positions bind which variable slots. The
-//!   executor reads candidate rows as arena slices — no candidate list is
-//!   cloned, and a derived head allocates only when it is genuinely new
-//!   (the per-round `seen` dedup is itself an arena-backed [`Relation`]).
-//!   Probing by key *hash* admits collisions; each candidate row is
-//!   verified against the key sources before binding, so a collision costs
-//!   one slice compare and never a wrong answer.
+//! * **Compiled join scripts, specialized executors.** Each `(rule,
+//!   order)` pair compiles once per round into a [`JoinScript`] whose
+//!   steps know statically which index to probe, how to build the probe
+//!   key, and which tuple positions bind which variable slots. Eligible
+//!   scripts are then lowered to the specialized columnar kernels in
+//!   [`crate::kernels`] (single-atom scans, batched two-atom hash joins
+//!   monomorphized by key width); everything else — negation, 3+ body
+//!   atoms, wide keys — runs on the row-at-a-time interpreter in this
+//!   module, which doubles as the differential reference
+//!   ([`EvalOptions::interpreted`] forces it everywhere). Both paths probe
+//!   in code space: a probe key's constants are translated through the
+//!   target column's dictionary first, so a constant that never appears in
+//!   a column matches nothing without touching a single row
+//!   ([`Stats::dict_filtered_probes`]), and candidate verification is a
+//!   `u32` compare per bound column. Hash collisions are therefore
+//!   admitted by the postings map but never produce a wrong answer.
 //!
 //! * **Parallel rounds.** With `EvalOptions::threads > 1`, the per-round
 //!   `(rule × delta-position)` work items — further sharded by striding
@@ -39,16 +45,21 @@
 //!   parallelises — are dispatched to a shared [`crate::pool::ThreadPool`]
 //!   against a read-only snapshot of the indexes. Derived tuples merge
 //!   through the existing set-semantics dedup, so the result is
-//!   tuple-identical to sequential evaluation at any worker count.
+//!   tuple-identical to sequential evaluation at any worker count — and at
+//!   either executor tier.
 //!
 //! `threads == 1` reproduces the seed's sequential behaviour (modulo the
 //! index reuse); [`EvalOptions::default`] asks the OS for
 //! `available_parallelism`.
 
+use crate::kernels::{self, Executor};
 use crate::plan::{RulePlan, Slot};
 use crate::pool::ThreadPool;
 use crate::stats::Stats;
-use datalog_ast::{hash_row, Const, Database, GroundAtom, Pred, Program, Relation, RowHashMap};
+use datalog_ast::{
+    hash_codes_fold, hash_codes_seed, Const, Database, GroundAtom, Pred, Program, Relation,
+    RowHashMap,
+};
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc};
 
@@ -59,19 +70,43 @@ pub struct EvalOptions {
     /// sequential discipline; the default is the machine's
     /// `available_parallelism`.
     pub threads: usize,
+    /// Lower eligible join scripts to the specialized columnar kernels
+    /// (default). `false` forces the row-at-a-time interpreter for every
+    /// rule — the differential reference the oracle fuzzer and the E20
+    /// benchmark compare the kernels against.
+    pub specialize: bool,
 }
 
 impl EvalOptions {
     /// Sequential evaluation (the seed behaviour).
     pub fn sequential() -> EvalOptions {
-        EvalOptions { threads: 1 }
+        EvalOptions {
+            threads: 1,
+            specialize: true,
+        }
     }
 
     /// Evaluate with `threads` workers (clamped to at least 1).
     pub fn with_threads(threads: usize) -> EvalOptions {
         EvalOptions {
             threads: threads.max(1),
+            specialize: true,
         }
+    }
+
+    /// Sequential evaluation on the interpreter only — no specialized
+    /// kernels. This is the reference side of the kernel differentials.
+    pub fn interpreted() -> EvalOptions {
+        EvalOptions {
+            threads: 1,
+            specialize: false,
+        }
+    }
+
+    /// Toggle specialized-kernel lowering on this option set.
+    pub fn with_specialize(mut self, specialize: bool) -> EvalOptions {
+        self.specialize = specialize;
+        self
     }
 }
 
@@ -79,22 +114,15 @@ impl Default for EvalOptions {
     fn default() -> EvalOptions {
         EvalOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            specialize: true,
         }
     }
 }
 
-/// One hash index: hash of the projection on a fixed position list → the
-/// row-ids whose projection carries that hash (collisions possible; the
-/// executor verifies candidates against the actual key).
+/// One hash index: hash of the projected dictionary codes on a fixed
+/// position list → the row-ids whose projection carries that hash
+/// (collisions possible; executors verify candidates code-by-code).
 type Index = RowHashMap<Vec<u32>>;
-
-/// Project `row` onto `positions` into `key_buf` and hash the result.
-#[inline]
-fn project_hash(key_buf: &mut Vec<Const>, row: &[Const], positions: &[usize]) -> u64 {
-    key_buf.clear();
-    key_buf.extend(positions.iter().map(|&i| row[i]));
-    hash_row(key_buf)
-}
 
 /// The per-`(pred, arity)` index group: one [`Index`] per bound-position
 /// pattern ever probed.
@@ -106,9 +134,10 @@ type IndexGroup = HashMap<Box<[usize]>, Index>;
 /// copies candidate tuples, and dies with the round), the store holds only
 /// `u32` ids into the database's arenas and survives rounds: new rows are
 /// appended, never re-scanned. Ids are valid against the exact database
-/// the store was ensured/absorbed from.
+/// the store was ensured/absorbed from. Keys are hashes of projected
+/// *dictionary codes*, so building and appending read only `u32` columns.
 #[derive(Clone, Debug, Default)]
-struct IndexStore {
+pub(crate) struct IndexStore {
     map: HashMap<(Pred, usize), IndexGroup>,
 }
 
@@ -122,9 +151,15 @@ impl IndexStore {
         }
         let mut index = Index::default();
         if let Some(rel) = db.relation_of(pred, arity) {
-            let mut key = Vec::with_capacity(positions.len());
-            for (id, row) in rel.iter_with_ids() {
-                let h = project_hash(&mut key, row, positions);
+            // Columnar build: fold the projected code columns, never the
+            // row arena.
+            let cols: Vec<&[u32]> = positions.iter().map(|&p| rel.codes(p)).collect();
+            let seed = hash_codes_seed(positions.len());
+            for id in 0..rel.len() as u32 {
+                let mut h = seed;
+                for col in &cols {
+                    h = hash_codes_fold(h, col[id as usize]);
+                }
                 index.entry(h).or_default().push(id);
             }
         }
@@ -132,9 +167,9 @@ impl IndexStore {
         true
     }
 
-    /// Row-ids of `pred`/`arity` whose projection on `positions` hashes to
-    /// `hash`. The index must have been [`IndexStore::ensure`]d.
-    fn probe(&self, pred: Pred, arity: usize, positions: &[usize], hash: u64) -> &[u32] {
+    /// Row-ids of `pred`/`arity` whose code projection on `positions`
+    /// hashes to `hash`. The index must have been [`IndexStore::ensure`]d.
+    pub(crate) fn probe(&self, pred: Pred, arity: usize, positions: &[usize], hash: u64) -> &[u32] {
         debug_assert!(
             self.map
                 .get(&(pred, arity))
@@ -155,7 +190,6 @@ impl IndexStore {
     /// Returns the number of (row, index) appends performed.
     fn absorb(&mut self, db: &Database, fresh: &[(Pred, usize, u32)]) -> u64 {
         let mut appends = 0;
-        let mut key = Vec::new();
         for &(pred, arity, id) in fresh {
             let Some(by_pos) = self.map.get_mut(&(pred, arity)) else {
                 continue;
@@ -163,9 +197,11 @@ impl IndexStore {
             let rel = db
                 .relation_of(pred, arity)
                 .expect("freshly inserted row has a relation");
-            let row = rel.row(id);
             for (positions, index) in by_pos.iter_mut() {
-                let h = project_hash(&mut key, row, positions);
+                let mut h = hash_codes_seed(positions.len());
+                for &p in positions.iter() {
+                    h = hash_codes_fold(h, rel.code_at(p, id));
+                }
                 index.entry(h).or_default().push(id);
                 appends += 1;
             }
@@ -182,14 +218,14 @@ impl IndexStore {
 
 /// Where a probe key component comes from.
 #[derive(Clone, Copy, Debug)]
-enum KeySrc {
+pub(crate) enum KeySrc {
     Const(Const),
     Var(usize),
 }
 
 impl KeySrc {
     #[inline]
-    fn value(self, assignment: &[Option<Const>]) -> Const {
+    pub(crate) fn value(self, assignment: &[Option<Const>]) -> Const {
         match self {
             KeySrc::Const(c) => c,
             KeySrc::Var(v) => assignment[v].expect("variable bound by join order"),
@@ -200,32 +236,56 @@ impl KeySrc {
 /// One compiled join step: which index to probe, how to build the key,
 /// and which tuple positions bind which variable slots.
 #[derive(Clone, Debug)]
-struct Step {
+pub(crate) struct Step {
     /// Body index of the atom (identifies the delta-restricted step).
-    atom: usize,
-    negated: bool,
-    pred: Pred,
+    pub(crate) atom: usize,
+    pub(crate) negated: bool,
+    pub(crate) pred: Pred,
     /// The atom's arity (selects the arena relation to read rows from).
-    arity: usize,
+    pub(crate) arity: usize,
     /// Statically-bound argument positions (the index pattern).
-    positions: Box<[usize]>,
+    pub(crate) positions: Box<[usize]>,
     /// Sources of the probe key, one per bound position. For negated
     /// atoms: sources of the full ground tuple (one per argument).
-    key: Vec<KeySrc>,
+    pub(crate) key: Vec<KeySrc>,
     /// `(tuple position, variable slot)` pairs newly bound by this step.
-    bind: Vec<(usize, usize)>,
+    pub(crate) bind: Vec<(usize, usize)>,
     /// Repeated first occurrences within this atom: positions that must
     /// equal a slot bound earlier in `bind`.
-    check: Vec<(usize, usize)>,
+    pub(crate) check: Vec<(usize, usize)>,
+}
+
+impl Step {
+    /// The tuple position a variable slot is bound from by this step.
+    pub(crate) fn bind_pos(&self, var: usize) -> Option<usize> {
+        self.bind
+            .iter()
+            .find(|&&(_, w)| w == var)
+            .map(|&(pos, _)| pos)
+    }
+
+    /// `check` resolved to `(position, position)` pairs within this step's
+    /// tuple (repeated-variable equality as a row-local compare).
+    pub(crate) fn check_pairs(&self) -> Vec<(usize, usize)> {
+        self.check
+            .iter()
+            .map(|&(pos, v)| {
+                let bound_at = self
+                    .bind_pos(v)
+                    .expect("checked variable first bound by the same step");
+                (pos, bound_at)
+            })
+            .collect()
+    }
 }
 
 /// A rule's body compiled for a fixed atom order, plus its head recipe.
 #[derive(Clone, Debug)]
-struct JoinScript {
-    steps: Vec<Step>,
-    head_pred: Pred,
-    head: Vec<KeySrc>,
-    num_vars: usize,
+pub(crate) struct JoinScript {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) head_pred: Pred,
+    pub(crate) head: Vec<KeySrc>,
+    pub(crate) num_vars: usize,
 }
 
 fn keysrc(slot: Slot) -> KeySrc {
@@ -303,28 +363,56 @@ fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
 /// atom, enumerating only every `stride`-th row (from `offset`) of the
 /// first join step — the sharding that lets a single rule span workers.
 #[derive(Clone, Copy, Debug)]
-struct Task {
-    script: usize,
-    delta_atom: Option<usize>,
-    offset: usize,
-    stride: usize,
+pub(crate) struct Task {
+    pub(crate) script: usize,
+    pub(crate) delta_atom: Option<usize>,
+    pub(crate) offset: usize,
+    pub(crate) stride: usize,
 }
 
-struct TaskOutput {
-    derived: Vec<GroundAtom>,
-    probes: u64,
-    matches: u64,
+/// The index store and relation a step reads from: the per-round delta
+/// pair when the task is delta-restricted at this step, the persistent
+/// pair otherwise. Shared by the interpreter and every kernel so source
+/// selection cannot diverge between executor tiers.
+pub(crate) fn step_source<'a>(
+    step: &Step,
+    task: Task,
+    store: &'a IndexStore,
+    delta_store: &'a IndexStore,
+    db: &'a Database,
+    delta_db: &'a Database,
+) -> (&'a IndexStore, Option<&'a Relation>) {
+    if task.delta_atom == Some(step.atom) {
+        (delta_store, delta_db.relation_of(step.pred, step.arity))
+    } else {
+        (store, db.relation_of(step.pred, step.arity))
+    }
+}
+
+pub(crate) struct TaskOutput {
+    pub(crate) derived: Vec<GroundAtom>,
+    pub(crate) probes: u64,
+    pub(crate) matches: u64,
+    /// Outer rows pushed through the batched gather → probe → verify →
+    /// emit pipeline (kernel tasks only).
+    pub(crate) batch_rows: u64,
+    /// Probe keys dropped because a constant was absent from the target
+    /// column's dictionary — joins answered without touching any row.
+    pub(crate) dict_filtered: u64,
     /// Drop head tuples already present in the database before allocating
     /// them. Valid for committing rounds (the commit would discard them
     /// anyway); the DRed overdeletion sweep must keep them.
-    filter_known: bool,
+    pub(crate) filter_known: bool,
     /// Head tuples already handled by this output (queued or known-old),
     /// per head predicate: set-semantics dedup before allocation, itself
     /// arena-backed so a repeated head costs a hash probe, not a `Box`.
     seen: HashMap<Pred, Relation>,
-    /// Per-depth probe-key scratch buffers (no per-probe allocation).
-    keys: Vec<Vec<Const>>,
-    head_buf: Vec<Const>,
+    /// Per-depth probe-key scratch (translated codes; no per-probe
+    /// allocation).
+    keys: Vec<Vec<u32>>,
+    /// Ground-tuple scratch for negated-atom membership checks.
+    neg_buf: Vec<Const>,
+    pub(crate) head_buf: Vec<Const>,
 }
 
 impl TaskOutput {
@@ -333,16 +421,51 @@ impl TaskOutput {
             derived: Vec::new(),
             probes: 0,
             matches: 0,
+            batch_rows: 0,
+            dict_filtered: 0,
             filter_known,
             seen: HashMap::new(),
             keys: Vec::new(),
+            neg_buf: Vec::new(),
             head_buf: Vec::new(),
         }
     }
+
+    /// Account one complete body match whose head tuple sits in
+    /// `self.head_buf`, dedup it, and queue it if new. Shared by the
+    /// interpreter leaf and every specialized kernel, so `matches` and the
+    /// emitted tuple set are executor-invariant by construction.
+    ///
+    /// Dedup before allocating: bloated programs re-derive the same head
+    /// many times per round, and the commit step would drop the duplicates
+    /// anyway. Known-old tuples are memoized into `seen` so repeats cost
+    /// one hash probe, not a database lookup — and `seen` is an arena, so
+    /// neither path allocates a per-tuple `Box`.
+    pub(crate) fn emit_head(&mut self, head_pred: Pred, db: &Database) {
+        self.matches += 1;
+        let head_arity = self.head_buf.len();
+        let seen = self
+            .seen
+            .entry(head_pred)
+            .or_insert_with(|| Relation::new(head_arity));
+        if seen.contains(&self.head_buf) {
+            return;
+        }
+        seen.insert(&self.head_buf);
+        if self.filter_known && db.contains_tuple(head_pred, &self.head_buf) {
+            return;
+        }
+        self.derived.push(GroundAtom {
+            pred: head_pred,
+            tuple: self.head_buf.as_slice().into(),
+        });
+    }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     script: &JoinScript,
+    executor: &Executor,
     task: Task,
     store: &IndexStore,
     delta_store: &IndexStore,
@@ -350,21 +473,29 @@ fn run_task(
     delta_db: &Database,
     out: &mut TaskOutput,
 ) {
-    if out.keys.len() < script.steps.len() {
-        out.keys.resize_with(script.steps.len(), Vec::new);
+    match executor {
+        Executor::Scan => kernels::run_scan(script, task, store, delta_store, db, delta_db, out),
+        Executor::HashJoin { width } => {
+            kernels::run_hash_join(script, *width, task, store, delta_store, db, delta_db, out)
+        }
+        Executor::Interpreted => {
+            if out.keys.len() < script.steps.len() {
+                out.keys.resize_with(script.steps.len(), Vec::new);
+            }
+            let mut assignment: Vec<Option<Const>> = vec![None; script.num_vars];
+            exec(
+                script,
+                0,
+                task,
+                store,
+                delta_store,
+                db,
+                delta_db,
+                &mut assignment,
+                out,
+            );
+        }
     }
-    let mut assignment: Vec<Option<Const>> = vec![None; script.num_vars];
-    exec(
-        script,
-        0,
-        task,
-        store,
-        delta_store,
-        db,
-        delta_db,
-        &mut assignment,
-        out,
-    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -380,39 +511,18 @@ fn exec(
     out: &mut TaskOutput,
 ) {
     let Some(step) = script.steps.get(depth) else {
-        out.matches += 1;
         out.head_buf.clear();
         for s in &script.head {
             out.head_buf.push(s.value(assignment));
         }
-        // Dedup before allocating: bloated programs re-derive the same
-        // head many times per round, and the commit step would drop the
-        // duplicates anyway. Known-old tuples are memoized into `seen` so
-        // repeats cost one hash probe, not a database lookup — and `seen`
-        // is an arena, so neither path allocates a per-tuple `Box`.
-        let head_arity = script.head.len();
-        let seen = out
-            .seen
-            .entry(script.head_pred)
-            .or_insert_with(|| Relation::new(head_arity));
-        if seen.contains(&out.head_buf) {
-            return;
-        }
-        seen.insert(&out.head_buf);
-        if out.filter_known && db.contains_tuple(script.head_pred, &out.head_buf) {
-            return;
-        }
-        out.derived.push(GroundAtom {
-            pred: script.head_pred,
-            tuple: out.head_buf.as_slice().into(),
-        });
+        out.emit_head(script.head_pred, db);
         return;
     };
 
     if step.negated {
         out.probes += 1;
         let absent = {
-            let key = &mut out.keys[depth];
+            let key = &mut out.neg_buf;
             key.clear();
             key.extend(step.key.iter().map(|s| s.value(assignment)));
             !db.contains_tuple(step.pred, key)
@@ -434,20 +544,34 @@ fn exec(
     }
 
     out.probes += 1;
-    let delta_restricted = task.delta_atom == Some(step.atom);
-    let (source, rel) = if delta_restricted {
-        (delta_store, delta_db.relation_of(step.pred, step.arity))
-    } else {
-        (store, db.relation_of(step.pred, step.arity))
-    };
+    let (source, rel) = step_source(step, task, store, delta_store, db, delta_db);
     let Some(rel) = rel else {
         return; // no rows at this predicate/arity — the join is empty here
     };
-    let ids = {
-        let key = &mut out.keys[depth];
-        key.clear();
-        key.extend(step.key.iter().map(|s| s.value(assignment)));
-        source.probe(step.pred, step.arity, &step.positions, hash_row(key))
+    // Translate the probe key into the target relation's code space and
+    // fold the hash as we go. A constant absent from a column's dictionary
+    // matches no row: the probe is answered from the dictionary alone.
+    let mut key_codes = std::mem::take(&mut out.keys[depth]);
+    key_codes.clear();
+    let mut hash = hash_codes_seed(step.key.len());
+    let mut present = true;
+    for (&pos, src) in step.positions.iter().zip(&step.key) {
+        match rel.lookup_code(pos, src.value(assignment)) {
+            Some(code) => {
+                key_codes.push(code);
+                hash = hash_codes_fold(hash, code);
+            }
+            None => {
+                present = false;
+                break;
+            }
+        }
+    }
+    let ids: &[u32] = if present {
+        source.probe(step.pred, step.arity, &step.positions, hash)
+    } else {
+        out.dict_filtered += 1;
+        &[]
     };
     // Sharding applies to the first step only: each shard owns a strided
     // slice of the depth-0 candidates and the rest of the join is common.
@@ -457,17 +581,18 @@ fn exec(
         (0, 1)
     };
     for &id in ids.iter().skip(skip).step_by(stride.max(1)) {
-        let t = rel.row(id);
-        // The postings list is keyed by hash; verify the candidate's
-        // projection against the actual key sources (collision safety).
+        // The postings list is keyed by hash; verify the candidate's code
+        // projection against the translated key (collision safety, one
+        // integer compare per bound column).
         if !step
             .positions
             .iter()
-            .zip(&step.key)
-            .all(|(&pos, src)| t[pos] == src.value(assignment))
+            .zip(&key_codes)
+            .all(|(&pos, &code)| rel.code_at(pos, id) == code)
         {
             continue;
         }
+        let t = rel.row(id);
         for &(pos, v) in &step.bind {
             assignment[v] = Some(t[pos]);
         }
@@ -492,6 +617,7 @@ fn exec(
             assignment[v] = None;
         }
     }
+    out.keys[depth] = key_codes;
 }
 
 /// A persistent evaluation context: the program's compiled rule plans, the
@@ -507,6 +633,7 @@ pub struct EvalContext {
     db: Arc<Database>,
     store: Arc<IndexStore>,
     threads: usize,
+    specialize: bool,
     pool: Option<ThreadPool>,
     stats: Stats,
 }
@@ -517,6 +644,7 @@ impl std::fmt::Debug for EvalContext {
             .field("rules", &self.plans.len())
             .field("db_atoms", &self.db.len())
             .field("threads", &self.threads)
+            .field("specialize", &self.specialize)
             .field("stats", &self.stats)
             .finish()
     }
@@ -555,6 +683,7 @@ impl EvalContext {
             db: Arc::new(input),
             store: Arc::new(IndexStore::default()),
             threads: opts.threads.max(1),
+            specialize: opts.specialize,
             pool: None,
             stats,
         }
@@ -569,6 +698,7 @@ impl EvalContext {
             db: Arc::clone(&self.db),
             store: Arc::clone(&self.store),
             threads: self.threads,
+            specialize: self.specialize,
             pool: None,
             stats: self.stats,
         }
@@ -700,7 +830,9 @@ impl EvalContext {
         self.stats.iterations += 1;
 
         // Compile one script per participating rule — the greedy order is
-        // computed once per rule per round, shared by all delta positions.
+        // computed once per rule per round, shared by all delta positions —
+        // and lower each to its executor (specialized kernel or the
+        // interpreter fallback).
         let mut scripts: Vec<JoinScript> = Vec::new();
         let mut items: Vec<(usize, Option<usize>)> = Vec::new();
         for &ri in rules {
@@ -734,6 +866,10 @@ impl EvalContext {
         if items.is_empty() {
             return Vec::new();
         }
+        let executors: Vec<Executor> = scripts
+            .iter()
+            .map(|s| kernels::specialize(s, self.specialize))
+            .collect();
 
         // Ensure every index the scripts will probe before going read-only;
         // on steady-state rounds nothing is missing and this is a no-op.
@@ -786,6 +922,10 @@ impl EvalContext {
                 stride: shards,
             }));
         }
+        self.stats.specialized_tasks += tasks
+            .iter()
+            .filter(|t| executors[t.script].is_specialized())
+            .count() as u64;
 
         let mut out = TaskOutput::new(filter_known);
         if self.threads > 1 && tasks.len() > 1 {
@@ -794,21 +934,23 @@ impl EvalContext {
                 let threads = self.threads;
                 self.pool.get_or_insert_with(|| ThreadPool::new(threads))
             };
-            let scripts = Arc::new(scripts);
+            let compiled = Arc::new((scripts, executors));
             let delta_store = Arc::new(delta_store);
             let expected = tasks.len();
             let (tx, rx) = mpsc::channel::<TaskOutput>();
             for task in tasks {
                 let tx = tx.clone();
-                let scripts = Arc::clone(&scripts);
+                let compiled = Arc::clone(&compiled);
                 let store = Arc::clone(&self.store);
                 let delta_store = Arc::clone(&delta_store);
                 let db = Arc::clone(&self.db);
                 let delta_db = Arc::clone(&delta_db);
                 pool.execute(move || {
                     let mut out = TaskOutput::new(filter_known);
+                    let (scripts, executors) = &*compiled;
                     run_task(
                         &scripts[task.script],
+                        &executors[task.script],
                         task,
                         &store,
                         &delta_store,
@@ -819,7 +961,7 @@ impl EvalContext {
                     // Release the shared snapshots before reporting, so the
                     // main thread's next copy-on-write round sees a unique
                     // Arc and mutates in place.
-                    drop(scripts);
+                    drop(compiled);
                     drop(store);
                     drop(delta_store);
                     drop(db);
@@ -834,6 +976,8 @@ impl EvalContext {
                 out.derived.extend(part.derived);
                 out.probes += part.probes;
                 out.matches += part.matches;
+                out.batch_rows += part.batch_rows;
+                out.dict_filtered += part.dict_filtered;
             }
             assert_eq!(
                 received, expected,
@@ -843,6 +987,7 @@ impl EvalContext {
             for task in tasks {
                 run_task(
                     &scripts[task.script],
+                    &executors[task.script],
                     task,
                     &self.store,
                     &delta_store,
@@ -854,6 +999,8 @@ impl EvalContext {
         }
         self.stats.probes += out.probes;
         self.stats.matches += out.matches;
+        self.stats.batch_probe_rows += out.batch_rows;
+        self.stats.dict_filtered_probes += out.dict_filtered;
         out.derived
     }
 }
@@ -927,6 +1074,43 @@ mod tests {
             assert_eq!(par.stats().tuples_allocated, seq.stats().tuples_allocated);
             assert_eq!(par.into_database(), *seq.database());
         }
+    }
+
+    /// The specialized kernels and the interpreter are exchangeable: same
+    /// database, same logical work, at any thread count.
+    #[test]
+    fn specialized_matches_interpreter() {
+        // One scan rule (with a repeated variable), one 2-atom join rule
+        // (kernel tier), one 3-atom rule (interpreter fallback), plus a
+        // constant key that exercises the dictionary filter.
+        let p = parse_program(
+            "loop(X) :- a(X, X).\
+             g(X, Z) :- a(X, Y), a(Y, Z).\
+             h(X, W) :- a(X, Y), a(Y, Z), a(Z, W).\
+             pin(X) :- a(7, X).",
+        )
+        .unwrap();
+        let mut facts = String::from("a(5,5). a(7,9).");
+        for i in 0..30 {
+            facts.push_str(&format!("a({}, {}).", i, (i * 5 + 2) % 30));
+        }
+        let edb = parse_database(&facts).unwrap();
+        let rules: Vec<usize> = (0..p.rules.len()).collect();
+        let mut spec = EvalContext::new(&p, edb.clone(), EvalOptions::sequential());
+        saturate(&mut spec, &rules);
+        let mut interp = EvalContext::new(&p, edb.clone(), EvalOptions::interpreted());
+        saturate(&mut interp, &rules);
+        assert!(spec.stats().specialized_tasks > 0, "kernels actually ran");
+        assert_eq!(interp.stats().specialized_tasks, 0, "reference stays pure");
+        assert_eq!(spec.stats().matches, interp.stats().matches);
+        assert_eq!(spec.stats().derivations, interp.stats().derivations);
+        assert_eq!(spec.stats().probes, interp.stats().probes);
+        assert_eq!(*spec.database(), *interp.database());
+        // And the parallel kernel tier agrees too.
+        let mut par = EvalContext::new(&p, edb, EvalOptions::with_threads(4));
+        saturate(&mut par, &rules);
+        assert_eq!(par.stats().matches, interp.stats().matches);
+        assert_eq!(*par.database(), *interp.database());
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Specialized columnar join kernels.
+//!
+//! [`crate::EvalContext`] compiles each rule into a `JoinScript`; this
+//! module lowers eligible scripts from the row-at-a-time interpreter onto
+//! executors specialized by body shape and binding pattern:
+//!
+//! * [`Executor::Scan`] — a single positive atom. Candidate rows come from
+//!   the constant-key postings list (or the whole relation); verification
+//!   is an integer compare per bound column on the dictionary-code
+//!   columns, and only emitted rows ever touch the row arena.
+//!
+//! * [`Executor::HashJoin`] — two positive atoms, run as a **batched**
+//!   gather → probe → verify → emit pipeline instead of per-row recursive
+//!   calls: outer rows are verified on their code columns and their inner
+//!   probe keys gathered (translated into the inner relation's code space)
+//!   a block at a time, then the block's postings lists are probed and
+//!   candidates verified code-by-code. The pipeline is monomorphized over
+//!   the inner key width (`K = 0..=4`), so the per-row key is a `[u32; K]`
+//!   in registers and the gather/verify loops compile to straight-line
+//!   integer code per width.
+//!
+//! Everything else — negation anywhere, three or more body atoms, keys
+//! wider than [`MAX_KEY_WIDTH`] — stays on the interpreter
+//! ([`Executor::Interpreted`]), which is also the differential reference:
+//! `EvalOptions::interpreted()` forces it everywhere, and the oracle
+//! fuzzer compares the two tiers on every generated case.
+//!
+//! Cross-dictionary translation: codes are local to one (relation, column)
+//! dictionary, so an outer row's code is translated into the inner
+//! column's space through a lazily filled per-task cache indexed by outer
+//! code ([`IKey::FromOuter`]). Steady state is one array read per key
+//! element; a constant or outer value absent from the inner dictionary
+//! kills the probe without touching any row (`dict_filtered`).
+//!
+//! Both kernels emit through [`TaskOutput::emit_head`], the same leaf the
+//! interpreter uses, so `matches`/`derivations` accounting and the
+//! emitted tuple set are executor-invariant by construction.
+
+use crate::context::{step_source, IndexStore, JoinScript, KeySrc, Step, Task, TaskOutput};
+use datalog_ast::{hash_codes_fold, hash_codes_seed, Const, Database, Pred, Relation};
+
+/// Outer rows gathered per block in the batched hash-join pipeline.
+const BLOCK: usize = 1024;
+
+/// Widest inner probe key with a monomorphized pipeline; wider joins fall
+/// back to the interpreter.
+pub(crate) const MAX_KEY_WIDTH: usize = 4;
+
+/// The executor a compiled script was lowered to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Executor {
+    /// Row-at-a-time recursive interpreter — the fallback tier and the
+    /// differential reference.
+    Interpreted,
+    /// Single positive atom: columnar verify + emit.
+    Scan,
+    /// Two positive atoms: batched hash join, monomorphized by `width`
+    /// (the inner step's bound-position count).
+    HashJoin { width: usize },
+}
+
+impl Executor {
+    pub(crate) fn is_specialized(&self) -> bool {
+        !matches!(self, Executor::Interpreted)
+    }
+}
+
+/// Deterministically select the executor for `script`. The decision
+/// depends only on the script shape, so the same rule always runs on the
+/// same tier within a round at every thread count.
+pub(crate) fn specialize(script: &JoinScript, enabled: bool) -> Executor {
+    if !enabled {
+        return Executor::Interpreted;
+    }
+    match script.steps.as_slice() {
+        [s0] if !s0.negated => Executor::Scan,
+        [s0, s1] if !s0.negated && !s1.negated && s1.positions.len() <= MAX_KEY_WIDTH => {
+            Executor::HashJoin {
+                width: s1.positions.len(),
+            }
+        }
+        _ => Executor::Interpreted,
+    }
+}
+
+/// Where one head tuple position comes from.
+enum HeadSrc {
+    Const(Const),
+    /// Tuple position of the first (outer) step's row.
+    Outer(usize),
+    /// Tuple position of the second (inner) step's row.
+    Inner(usize),
+}
+
+fn head_recipe(script: &JoinScript, s0: &Step, s1: Option<&Step>) -> Vec<HeadSrc> {
+    script
+        .head
+        .iter()
+        .map(|src| match *src {
+            KeySrc::Const(c) => HeadSrc::Const(c),
+            KeySrc::Var(v) => {
+                if let Some(p) = s0.bind_pos(v) {
+                    HeadSrc::Outer(p)
+                } else {
+                    let p = s1
+                        .and_then(|s| s.bind_pos(v))
+                        .expect("head variable bound by a body step (range restriction)");
+                    HeadSrc::Inner(p)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Translate a step's constant-only key into the target relation's code
+/// space, folding the probe hash. `None` means some constant has no code
+/// in its column — no row can match.
+fn const_key_codes(step: &Step, rel: &Relation) -> Option<(Vec<u32>, u64)> {
+    let mut codes = Vec::with_capacity(step.positions.len());
+    let mut hash = hash_codes_seed(step.key.len());
+    for (&pos, src) in step.positions.iter().zip(&step.key) {
+        let KeySrc::Const(c) = *src else {
+            unreachable!("depth-0 probe keys are constants");
+        };
+        let code = rel.lookup_code(pos, c)?;
+        codes.push(code);
+        hash = hash_codes_fold(hash, code);
+    }
+    Some((codes, hash))
+}
+
+/// Single positive atom: enumerate candidates, verify the constant key on
+/// code columns, check repeated variables, emit.
+pub(crate) fn run_scan(
+    script: &JoinScript,
+    task: Task,
+    store: &IndexStore,
+    delta_store: &IndexStore,
+    db: &Database,
+    delta_db: &Database,
+    out: &mut TaskOutput,
+) {
+    let step = &script.steps[0];
+    out.probes += 1;
+    let (source, rel) = step_source(step, task, store, delta_store, db, delta_db);
+    let Some(rel) = rel else {
+        return;
+    };
+    let Some((key_codes, hash)) = const_key_codes(step, rel) else {
+        out.dict_filtered += 1;
+        return;
+    };
+    let checks = step.check_pairs();
+    let head = head_recipe(script, step, None);
+    let cols: Vec<&[u32]> = step.positions.iter().map(|&p| rel.codes(p)).collect();
+    let stride = task.stride.max(1);
+    let handle = |id: u32, out: &mut TaskOutput| {
+        if !cols
+            .iter()
+            .zip(&key_codes)
+            .all(|(col, &kc)| col[id as usize] == kc)
+        {
+            return;
+        }
+        let t = rel.row(id);
+        if !checks.iter().all(|&(p, q)| t[p] == t[q]) {
+            return;
+        }
+        out.head_buf.clear();
+        for h in &head {
+            out.head_buf.push(match *h {
+                HeadSrc::Const(c) => c,
+                HeadSrc::Outer(p) => t[p],
+                HeadSrc::Inner(_) => unreachable!("scan kernels have no inner step"),
+            });
+        }
+        out.emit_head(script.head_pred, db);
+    };
+    if step.positions.is_empty() {
+        for id in (task.offset..rel.len()).step_by(stride) {
+            handle(id as u32, out);
+        }
+    } else {
+        let ids = source.probe(step.pred, step.arity, &step.positions, hash);
+        for &id in ids.iter().skip(task.offset).step_by(stride) {
+            handle(id, out);
+        }
+    }
+}
+
+const XLATE_UNKNOWN: u64 = u64::MAX;
+const XLATE_ABSENT: u64 = u64::MAX - 1;
+
+/// One element of the inner probe key, in inner-code space.
+enum IKey {
+    /// Constant, translated once per task.
+    Code(u32),
+    /// Variable bound by the outer step at `opos`, translated from the
+    /// outer column's code space into inner column `ipos`'s through a
+    /// lazily filled cache indexed by outer code.
+    FromOuter {
+        opos: usize,
+        ipos: usize,
+        xlate: Vec<u64>,
+    },
+}
+
+/// Outer candidate enumeration: a postings list or the whole relation.
+enum Cands<'a> {
+    Ids(&'a [u32]),
+    All(usize),
+}
+
+/// One block of gathered outer rows awaiting their probes.
+struct Batch<const K: usize> {
+    oids: Vec<u32>,
+    hashes: Vec<u64>,
+    keys: Vec<[u32; K]>,
+}
+
+impl<const K: usize> Default for Batch<K> {
+    fn default() -> Batch<K> {
+        Batch {
+            oids: Vec::with_capacity(BLOCK),
+            hashes: Vec::with_capacity(BLOCK),
+            keys: Vec::with_capacity(BLOCK),
+        }
+    }
+}
+
+struct Join2<'a> {
+    head_pred: Pred,
+    s1: &'a Step,
+    orel: &'a Relation,
+    irel: &'a Relation,
+    isrc: &'a IndexStore,
+    db: &'a Database,
+    /// Outer constant key, in outer-code space (parallel to
+    /// `s0.positions`).
+    okey: Vec<u32>,
+    ocols: Vec<&'a [u32]>,
+    icols: Vec<&'a [u32]>,
+    ochecks: Vec<(usize, usize)>,
+    ichecks: Vec<(usize, usize)>,
+    head: Vec<HeadSrc>,
+    ikeys: Vec<IKey>,
+}
+
+/// Two positive atoms: batched gather → probe → verify → emit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_hash_join(
+    script: &JoinScript,
+    width: usize,
+    task: Task,
+    store: &IndexStore,
+    delta_store: &IndexStore,
+    db: &Database,
+    delta_db: &Database,
+    out: &mut TaskOutput,
+) {
+    let (s0, s1) = (&script.steps[0], &script.steps[1]);
+    out.probes += 1;
+    let (osrc, orel) = step_source(s0, task, store, delta_store, db, delta_db);
+    let Some(orel) = orel else {
+        return;
+    };
+    let (isrc, irel) = step_source(s1, task, store, delta_store, db, delta_db);
+    let Some(irel) = irel else {
+        return;
+    };
+    let Some((okey, ohash)) = const_key_codes(s0, orel) else {
+        out.dict_filtered += 1;
+        return;
+    };
+    let mut ikeys: Vec<IKey> = Vec::with_capacity(width);
+    for (&q, src) in s1.positions.iter().zip(&s1.key) {
+        match *src {
+            KeySrc::Const(c) => match irel.lookup_code(q, c) {
+                Some(code) => ikeys.push(IKey::Code(code)),
+                None => {
+                    // The constant never appears in the inner column: the
+                    // whole task is empty, answered from the dictionary.
+                    out.dict_filtered += 1;
+                    return;
+                }
+            },
+            KeySrc::Var(v) => {
+                let opos = s0
+                    .bind_pos(v)
+                    .expect("inner key variable bound by the outer step");
+                ikeys.push(IKey::FromOuter {
+                    opos,
+                    ipos: q,
+                    xlate: vec![XLATE_UNKNOWN; orel.dict_len(opos)],
+                });
+            }
+        }
+    }
+    let join = Join2 {
+        head_pred: script.head_pred,
+        s1,
+        orel,
+        irel,
+        isrc,
+        db,
+        ocols: s0.positions.iter().map(|&p| orel.codes(p)).collect(),
+        icols: s1.positions.iter().map(|&q| irel.codes(q)).collect(),
+        okey,
+        ochecks: s0.check_pairs(),
+        ichecks: s1.check_pairs(),
+        head: head_recipe(script, s0, Some(s1)),
+        ikeys,
+    };
+    let cands = if s0.positions.is_empty() {
+        Cands::All(orel.len())
+    } else {
+        Cands::Ids(osrc.probe(s0.pred, s0.arity, &s0.positions, ohash))
+    };
+    // Monomorphize the pipeline over the key width: the per-row key is a
+    // `[u32; K]` and the gather/verify loops unroll per width.
+    match width {
+        0 => join.run::<0>(cands, task, out),
+        1 => join.run::<1>(cands, task, out),
+        2 => join.run::<2>(cands, task, out),
+        3 => join.run::<3>(cands, task, out),
+        4 => join.run::<4>(cands, task, out),
+        w => unreachable!("key width {w} beyond the monomorphized tiers"),
+    }
+}
+
+impl<'a> Join2<'a> {
+    fn run<const K: usize>(mut self, cands: Cands<'_>, task: Task, out: &mut TaskOutput) {
+        debug_assert_eq!(self.ikeys.len(), K);
+        let mut batch: Batch<K> = Batch::default();
+        let stride = task.stride.max(1);
+        match cands {
+            Cands::Ids(ids) => {
+                for &oid in ids.iter().skip(task.offset).step_by(stride) {
+                    self.gather(oid, &mut batch, out);
+                    if batch.oids.len() == BLOCK {
+                        self.flush(&mut batch, out);
+                    }
+                }
+            }
+            Cands::All(n) => {
+                for oid in (task.offset..n).step_by(stride) {
+                    self.gather(oid as u32, &mut batch, out);
+                    if batch.oids.len() == BLOCK {
+                        self.flush(&mut batch, out);
+                    }
+                }
+            }
+        }
+        self.flush(&mut batch, out);
+    }
+
+    /// Gather phase: verify the outer row on its code columns, translate
+    /// its inner probe key, fold the hash, and queue it for the probe
+    /// phase.
+    #[inline]
+    fn gather<const K: usize>(&mut self, oid: u32, batch: &mut Batch<K>, out: &mut TaskOutput) {
+        if !self
+            .ocols
+            .iter()
+            .zip(&self.okey)
+            .all(|(col, &kc)| col[oid as usize] == kc)
+        {
+            return;
+        }
+        if !self.ochecks.is_empty() {
+            let t = self.orel.row(oid);
+            if !self.ochecks.iter().all(|&(p, q)| t[p] == t[q]) {
+                return;
+            }
+        }
+        out.probes += 1;
+        let mut key = [0u32; K];
+        let mut h = hash_codes_seed(K);
+        for (k, slot) in key.iter_mut().enumerate() {
+            let code = match &mut self.ikeys[k] {
+                IKey::Code(code) => *code,
+                IKey::FromOuter { opos, ipos, xlate } => {
+                    let ocode = self.orel.codes(*opos)[oid as usize];
+                    let mut e = xlate[ocode as usize];
+                    if e == XLATE_UNKNOWN {
+                        e = match self.irel.lookup_code(*ipos, self.orel.decode(*opos, ocode)) {
+                            Some(ic) => ic as u64,
+                            None => XLATE_ABSENT,
+                        };
+                        xlate[ocode as usize] = e;
+                    }
+                    if e == XLATE_ABSENT {
+                        out.dict_filtered += 1;
+                        return;
+                    }
+                    e as u32
+                }
+            };
+            *slot = code;
+            h = hash_codes_fold(h, code);
+        }
+        batch.oids.push(oid);
+        batch.hashes.push(h);
+        batch.keys.push(key);
+    }
+
+    /// Probe + verify + emit phase over one gathered block.
+    fn flush<const K: usize>(&self, batch: &mut Batch<K>, out: &mut TaskOutput) {
+        out.batch_rows += batch.oids.len() as u64;
+        for j in 0..batch.oids.len() {
+            let ids = self.isrc.probe(
+                self.s1.pred,
+                self.s1.arity,
+                &self.s1.positions,
+                batch.hashes[j],
+            );
+            if ids.is_empty() {
+                continue;
+            }
+            let key = &batch.keys[j];
+            let ot = self.orel.row(batch.oids[j]);
+            for &iid in ids {
+                if !(0..K).all(|k| self.icols[k][iid as usize] == key[k]) {
+                    continue;
+                }
+                let it = self.irel.row(iid);
+                if !self.ichecks.iter().all(|&(p, q)| it[p] == it[q]) {
+                    continue;
+                }
+                out.head_buf.clear();
+                for h in &self.head {
+                    out.head_buf.push(match *h {
+                        HeadSrc::Const(c) => c,
+                        HeadSrc::Outer(p) => ot[p],
+                        HeadSrc::Inner(p) => it[p],
+                    });
+                }
+                out.emit_head(self.head_pred, self.db);
+            }
+        }
+        batch.oids.clear();
+        batch.hashes.clear();
+        batch.keys.clear();
+    }
+}

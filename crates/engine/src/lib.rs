@@ -27,6 +27,7 @@
 
 pub mod context;
 pub mod incremental;
+mod kernels;
 pub mod magic;
 pub mod naive;
 pub mod plan;

@@ -35,6 +35,16 @@ pub struct Stats {
     /// Number of join work items dispatched to worker threads (0 for a
     /// fully sequential evaluation).
     pub parallel_tasks: u64,
+    /// Join work items that ran on a specialized columnar kernel (scan or
+    /// batched hash join) rather than the row-at-a-time interpreter.
+    pub specialized_tasks: u64,
+    /// Outer rows pushed through the batched gather → probe → verify →
+    /// emit hash-join pipeline.
+    pub batch_probe_rows: u64,
+    /// Probe keys answered from a column dictionary alone: some key
+    /// constant (or translated outer value) has no code in the target
+    /// column, so the join step matched nothing without touching a row.
+    pub dict_filtered_probes: u64,
     /// Number of tuples copied into columnar arena storage (input rows
     /// plus genuinely new derivations). Monotone: removals do not
     /// decrement — this counts allocation work, not live rows.
@@ -69,6 +79,9 @@ impl AddAssign for Stats {
         self.index_builds += rhs.index_builds;
         self.index_appends += rhs.index_appends;
         self.parallel_tasks += rhs.parallel_tasks;
+        self.specialized_tasks += rhs.specialized_tasks;
+        self.batch_probe_rows += rhs.batch_probe_rows;
+        self.dict_filtered_probes += rhs.dict_filtered_probes;
         self.tuples_allocated += rhs.tuples_allocated;
         self.arena_bytes += rhs.arena_bytes;
         self.query_cache_hits += rhs.query_cache_hits;
@@ -93,6 +106,11 @@ impl Sub for Stats {
             index_builds: self.index_builds.saturating_sub(rhs.index_builds),
             index_appends: self.index_appends.saturating_sub(rhs.index_appends),
             parallel_tasks: self.parallel_tasks.saturating_sub(rhs.parallel_tasks),
+            specialized_tasks: self.specialized_tasks.saturating_sub(rhs.specialized_tasks),
+            batch_probe_rows: self.batch_probe_rows.saturating_sub(rhs.batch_probe_rows),
+            dict_filtered_probes: self
+                .dict_filtered_probes
+                .saturating_sub(rhs.dict_filtered_probes),
             tuples_allocated: self.tuples_allocated.saturating_sub(rhs.tuples_allocated),
             arena_bytes: self.arena_bytes.saturating_sub(rhs.arena_bytes),
             query_cache_hits: self.query_cache_hits.saturating_sub(rhs.query_cache_hits),
@@ -129,7 +147,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={} tuples_allocated={} arena_bytes={}",
+            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={} specialized_tasks={} batch_probe_rows={} dict_filtered_probes={} tuples_allocated={} arena_bytes={}",
             self.iterations,
             self.probes,
             self.matches,
@@ -137,6 +155,9 @@ impl fmt::Display for Stats {
             self.index_builds,
             self.index_appends,
             self.parallel_tasks,
+            self.specialized_tasks,
+            self.batch_probe_rows,
+            self.dict_filtered_probes,
             self.tuples_allocated,
             self.arena_bytes
         )?;
@@ -169,6 +190,9 @@ mod tests {
             index_builds: 2,
             index_appends: 7,
             parallel_tasks: 4,
+            specialized_tasks: 3,
+            batch_probe_rows: 100,
+            dict_filtered_probes: 9,
             tuples_allocated: 20,
             arena_bytes: 320,
             query_cache_hits: 6,
@@ -185,6 +209,9 @@ mod tests {
             index_builds: 1,
             index_appends: 1,
             parallel_tasks: 1,
+            specialized_tasks: 1,
+            batch_probe_rows: 1,
+            dict_filtered_probes: 1,
             tuples_allocated: 2,
             arena_bytes: 32,
             query_cache_hits: 1,
@@ -203,6 +230,9 @@ mod tests {
                 index_builds: 3,
                 index_appends: 8,
                 parallel_tasks: 5,
+                specialized_tasks: 4,
+                batch_probe_rows: 101,
+                dict_filtered_probes: 10,
                 tuples_allocated: 22,
                 arena_bytes: 352,
                 query_cache_hits: 7,
@@ -224,6 +254,9 @@ mod tests {
             index_builds: 3,
             index_appends: 8,
             parallel_tasks: 5,
+            specialized_tasks: 4,
+            batch_probe_rows: 101,
+            dict_filtered_probes: 10,
             tuples_allocated: 22,
             arena_bytes: 352,
             query_cache_hits: 7,
@@ -237,6 +270,9 @@ mod tests {
             index_builds: 2,
             index_appends: 7,
             parallel_tasks: 4,
+            specialized_tasks: 1,
+            batch_probe_rows: 100,
+            dict_filtered_probes: 4,
             tuples_allocated: 20,
             arena_bytes: 320,
             query_cache_hits: 2,
@@ -245,6 +281,9 @@ mod tests {
         let d = a - b;
         assert_eq!(d.tuples_allocated, 2);
         assert_eq!(d.arena_bytes, 32);
+        assert_eq!(d.specialized_tasks, 3);
+        assert_eq!(d.batch_probe_rows, 1);
+        assert_eq!(d.dict_filtered_probes, 6);
         assert_eq!(d.iterations, 2);
         assert_eq!(d.probes, 1);
         assert_eq!(d.index_appends, 1);
@@ -265,7 +304,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0 tuples_allocated=0 arena_bytes=0"
+            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0 specialized_tasks=0 batch_probe_rows=0 dict_filtered_probes=0 tuples_allocated=0 arena_bytes=0"
         );
     }
 

@@ -8,7 +8,8 @@
 //! seeded by it).
 //!
 //! * **Engine matrix** — naive, rebuilding semi-naive, SCC-layered,
-//!   stratified, and parallel (2/4 workers) evaluation must produce
+//!   stratified, parallel (2/4 workers), and interpreted (columnar join
+//!   kernels disabled, sequential and 2 workers) evaluation must produce
 //!   identical fixpoints; magic-sets and QSQ answers must equal the
 //!   pattern-filtered fixpoint for every query.
 //! * **Optimization soundness** — `minimize_program` (Fig. 2),
@@ -177,21 +178,29 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
         let Ok(reference) = stratified::evaluate(program, db) else {
             return out; // not stratifiable — nothing to compare
         };
-        for workers in [2usize, 4] {
-            match stratified::evaluate_with_opts(program, db, EvalOptions::with_threads(workers)) {
+        let variants: Vec<(String, EvalOptions)> = vec![
+            ("stratified-2".into(), EvalOptions::with_threads(2)),
+            ("stratified-4".into(), EvalOptions::with_threads(4)),
+            // The row-at-a-time interpreter is the differential reference
+            // for the specialized columnar kernels: every case exercises
+            // both sides of the executor split.
+            ("stratified-interpreted".into(), EvalOptions::interpreted()),
+        ];
+        for (name, opts) in variants {
+            match stratified::evaluate_with_opts(program, db, opts) {
                 Ok((got, _)) if got == reference => {}
                 Ok((got, _)) => out.push(Divergence {
                     family: Family::Engines,
-                    kind: format!("engine:stratified-{workers}"),
+                    kind: format!("engine:{name}"),
                     message: format!(
-                        "stratified @{workers} workers disagrees with sequential: {}",
+                        "{name} disagrees with sequential: {}",
                         diff_sample(&reference, &got)
                     ),
                 }),
                 Err(e) => out.push(Divergence {
                     family: Family::Engines,
-                    kind: format!("engine:stratified-{workers}"),
-                    message: format!("stratified @{workers} workers errored: {e}"),
+                    kind: format!("engine:{name}"),
+                    message: format!("{name} errored: {e}"),
                 }),
             }
         }
@@ -215,6 +224,18 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
             seminaive::evaluate_with_opts(program, db, EvalOptions::with_threads(workers));
         engines.push((format!("parallel-{workers}"), got));
     }
+    // Specialized columnar kernels vs the row-at-a-time interpreter: the
+    // default reference above runs with specialization on, so evaluating
+    // with it forced off makes every engines case a differential test of
+    // the executor split (sequential and under parallel task slicing).
+    let (got, _) = seminaive::evaluate_with_opts(program, db, EvalOptions::interpreted());
+    engines.push(("interpreted".into(), got));
+    let (got, _) = seminaive::evaluate_with_opts(
+        program,
+        db,
+        EvalOptions::with_threads(2).with_specialize(false),
+    );
+    engines.push(("interpreted-parallel-2".into(), got));
     for (name, got) in engines {
         if got != reference {
             out.push(Divergence {

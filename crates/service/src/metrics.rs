@@ -101,6 +101,15 @@ impl Metrics {
                     ("index_builds", Value::from(inner.eval.index_builds)),
                     ("index_appends", Value::from(inner.eval.index_appends)),
                     ("parallel_tasks", Value::from(inner.eval.parallel_tasks)),
+                    (
+                        "specialized_tasks",
+                        Value::from(inner.eval.specialized_tasks),
+                    ),
+                    ("batch_probe_rows", Value::from(inner.eval.batch_probe_rows)),
+                    (
+                        "dict_filtered_probes",
+                        Value::from(inner.eval.dict_filtered_probes),
+                    ),
                     ("tuples_allocated", Value::from(inner.eval.tuples_allocated)),
                     ("arena_bytes", Value::from(inner.eval.arena_bytes)),
                     ("query_cache_hits", Value::from(inner.eval.query_cache_hits)),
@@ -146,6 +155,9 @@ mod tests {
             index_builds: 4,
             index_appends: 9,
             parallel_tasks: 6,
+            specialized_tasks: 5,
+            batch_probe_rows: 40,
+            dict_filtered_probes: 7,
             tuples_allocated: 12,
             arena_bytes: 192,
             query_cache_hits: 8,
@@ -172,6 +184,9 @@ mod tests {
         assert_eq!(eval.get("index_builds").unwrap().as_u64(), Some(4));
         assert_eq!(eval.get("index_appends").unwrap().as_u64(), Some(9));
         assert_eq!(eval.get("parallel_tasks").unwrap().as_u64(), Some(6));
+        assert_eq!(eval.get("specialized_tasks").unwrap().as_u64(), Some(5));
+        assert_eq!(eval.get("batch_probe_rows").unwrap().as_u64(), Some(40));
+        assert_eq!(eval.get("dict_filtered_probes").unwrap().as_u64(), Some(7));
         assert_eq!(eval.get("tuples_allocated").unwrap().as_u64(), Some(12));
         assert_eq!(eval.get("arena_bytes").unwrap().as_u64(), Some(192));
         assert_eq!(eval.get("query_cache_hits").unwrap().as_u64(), Some(8));

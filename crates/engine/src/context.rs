@@ -829,10 +829,12 @@ impl EvalContext {
     ) -> Vec<GroundAtom> {
         self.stats.iterations += 1;
 
-        // Compile one script per participating rule — the greedy order is
-        // computed once per rule per round, shared by all delta positions —
-        // and lower each to its executor (specialized kernel or the
-        // interpreter fallback).
+        // Compile the scripts and lower each to its executor (specialized
+        // kernel or the interpreter fallback). Full rounds get one greedy
+        // script per rule; delta rounds get one script per (rule, delta
+        // position), seeded so the delta atom drives the join — the delta
+        // is the small side, and a persistent-relation-first order would
+        // rescan that full relation once per delta position per round.
         let mut scripts: Vec<JoinScript> = Vec::new();
         let mut items: Vec<(usize, Option<usize>)> = Vec::new();
         for &ri in rules {
@@ -844,22 +846,13 @@ impl EvalContext {
                     items.push((scripts.len() - 1, None));
                 }
                 Some(d) => {
-                    let delta_positions: Vec<usize> = plan
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, a)| {
-                            !a.negated && eligible(a.pred) && d.relation_len(a.pred) > 0
-                        })
-                        .map(|(i, _)| i)
-                        .collect();
-                    if delta_positions.is_empty() {
-                        continue;
+                    for (p, _) in plan.body.iter().enumerate().filter(|(_, a)| {
+                        !a.negated && eligible(a.pred) && d.relation_len(a.pred) > 0
+                    }) {
+                        let order = plan.greedy_order_seeded(&self.db, Some(p));
+                        scripts.push(compile_script(plan, &order));
+                        items.push((scripts.len() - 1, Some(p)));
                     }
-                    let order = plan.greedy_order(&self.db);
-                    scripts.push(compile_script(plan, &order));
-                    let s = scripts.len() - 1;
-                    items.extend(delta_positions.into_iter().map(|p| (s, Some(p))));
                 }
             }
         }

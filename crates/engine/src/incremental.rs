@@ -267,8 +267,9 @@ fn all_rules(program: &Program) -> Vec<usize> {
     (0..program.rules.len()).collect()
 }
 
-/// Backtracking satisfiability of a rule body under a partial substitution.
-fn body_satisfiable(
+/// Backtracking satisfiability of a rule body under a partial substitution
+/// (shared with the sharded evaluator's rederivation phase).
+pub(crate) fn body_satisfiable(
     rule: &datalog_ast::Rule,
     subst: &datalog_ast::Subst,
     db: &Database,

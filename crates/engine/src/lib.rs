@@ -19,6 +19,10 @@
 //!   join scripts, and parallel round execution over [`pool`].
 //! * [`pool`] — the std-only worker thread pool (shared with
 //!   `datalog-service`).
+//! * [`sharded`] — hash-partitioned fixpoints: N [`EvalContext`] replicas
+//!   splitting every semi-naive delta by shard key and exchanging
+//!   cross-shard derivations once per round (the substrate of the
+//!   sharded `datalog-service` views).
 //! * [`stats`] — work counters (probes ≈ joins, derivations, rounds,
 //!   index builds/appends, parallel tasks) that make the paper's "fewer
 //!   joins" claim measurable.
@@ -37,6 +41,7 @@ pub mod qsq;
 pub mod query;
 pub mod scc_eval;
 pub mod seminaive;
+pub mod sharded;
 pub mod stats;
 pub mod stratified;
 
@@ -51,5 +56,6 @@ pub use plan::{instantiate_head, join_body, IndexSet, RulePlan};
 pub use pool::ThreadPool;
 pub use provenance::{evaluate_traced, Justification, Proof, Traced};
 pub use query::{PlanCache, QueryPlan, Strategy};
+pub use sharded::ShardedMaterialized;
 pub use stats::Stats;
 pub use stratified::NotStratifiable;

@@ -110,10 +110,29 @@ impl RulePlan {
     ///
     /// Returns a permutation of body indices.
     pub fn greedy_order(&self, db: &Database) -> Vec<usize> {
+        self.greedy_order_seeded(db, None)
+    }
+
+    /// [`RulePlan::greedy_order`], optionally forcing one positive atom to
+    /// the front. Delta-restricted rounds seed with the delta atom: the
+    /// delta relation is the small (and, under sharding, the partitioned)
+    /// side, so driving the join from it avoids rescanning a full
+    /// persistent relation once per round per delta position.
+    pub(crate) fn greedy_order_seeded(&self, db: &Database, seed: Option<usize>) -> Vec<usize> {
         let n = self.body.len();
         let mut placed = vec![false; n];
         let mut bound = vec![false; self.num_vars()];
         let mut order = Vec::with_capacity(n);
+        if let Some(first) = seed {
+            debug_assert!(!self.body[first].negated, "cannot seed on a negated atom");
+            placed[first] = true;
+            order.push(first);
+            for s in &self.body[first].slots {
+                if let Slot::Var(v) = s {
+                    bound[*v] = true;
+                }
+            }
+        }
         while order.len() < n {
             // Prefer any negated atom whose variables are all bound.
             let ready_neg = (0..n).find(|&i| {

@@ -68,6 +68,12 @@ pub struct Stats {
     /// Entries admitted into the answer cache (monotone: a cumulative
     /// admission count, not the live-entry gauge).
     pub query_cache_entries: u64,
+    /// Partitioned delta rounds run by a sharded evaluation (one per
+    /// merge-and-exchange barrier, including single-shard runs).
+    pub shard_exchange_rounds: u64,
+    /// Atoms shipped across shards by the exchange step: derivations (or
+    /// overdeletions) produced on one shard and absorbed by another.
+    pub shard_deltas_exchanged: u64,
 }
 
 impl AddAssign for Stats {
@@ -89,6 +95,8 @@ impl AddAssign for Stats {
         self.query_cache_subsumption_hits += rhs.query_cache_subsumption_hits;
         self.query_cache_invalidations += rhs.query_cache_invalidations;
         self.query_cache_entries += rhs.query_cache_entries;
+        self.shard_exchange_rounds += rhs.shard_exchange_rounds;
+        self.shard_deltas_exchanged += rhs.shard_deltas_exchanged;
     }
 }
 
@@ -126,6 +134,12 @@ impl Sub for Stats {
             query_cache_entries: self
                 .query_cache_entries
                 .saturating_sub(rhs.query_cache_entries),
+            shard_exchange_rounds: self
+                .shard_exchange_rounds
+                .saturating_sub(rhs.shard_exchange_rounds),
+            shard_deltas_exchanged: self
+                .shard_deltas_exchanged
+                .saturating_sub(rhs.shard_deltas_exchanged),
         }
     }
 }
@@ -140,6 +154,13 @@ impl Stats {
             || self.query_cache_subsumption_hits != 0
             || self.query_cache_invalidations != 0
             || self.query_cache_entries != 0
+    }
+
+    /// True when any shard-exchange counter is nonzero; like the cache
+    /// block, [`Display`](fmt::Display) only prints the shard block then,
+    /// so unsharded evaluations keep their historical stats line.
+    pub fn has_shard_activity(&self) -> bool {
+        self.shard_exchange_rounds != 0 || self.shard_deltas_exchanged != 0
     }
 }
 
@@ -172,6 +193,13 @@ impl fmt::Display for Stats {
                 self.query_cache_entries
             )?;
         }
+        if self.has_shard_activity() {
+            write!(
+                f,
+                " shard_exchange_rounds={} shard_deltas_exchanged={}",
+                self.shard_exchange_rounds, self.shard_deltas_exchanged
+            )?;
+        }
         Ok(())
     }
 }
@@ -200,6 +228,8 @@ mod tests {
             query_cache_subsumption_hits: 1,
             query_cache_invalidations: 3,
             query_cache_entries: 2,
+            shard_exchange_rounds: 4,
+            shard_deltas_exchanged: 9,
         };
         a += Stats {
             iterations: 2,
@@ -219,6 +249,8 @@ mod tests {
             query_cache_subsumption_hits: 1,
             query_cache_invalidations: 1,
             query_cache_entries: 1,
+            shard_exchange_rounds: 1,
+            shard_deltas_exchanged: 1,
         };
         assert_eq!(
             a,
@@ -240,6 +272,8 @@ mod tests {
                 query_cache_subsumption_hits: 2,
                 query_cache_invalidations: 4,
                 query_cache_entries: 3,
+                shard_exchange_rounds: 5,
+                shard_deltas_exchanged: 10,
             }
         );
     }
@@ -279,6 +313,7 @@ mod tests {
             ..Stats::default()
         };
         let d = a - b;
+        assert_eq!(d.shard_exchange_rounds, 0);
         assert_eq!(d.tuples_allocated, 2);
         assert_eq!(d.arena_bytes, 32);
         assert_eq!(d.specialized_tasks, 3);
@@ -326,5 +361,22 @@ mod tests {
             "query_cache_hits=3 query_cache_misses=1 query_cache_subsumption_hits=0 \
              query_cache_invalidations=0 query_cache_entries=1"
         ));
+    }
+
+    #[test]
+    fn display_appends_shard_block_only_when_active() {
+        let quiet = Stats::default();
+        assert!(!quiet.has_shard_activity());
+        assert!(!quiet.to_string().contains("shard_"));
+
+        let active = Stats {
+            shard_exchange_rounds: 2,
+            shard_deltas_exchanged: 5,
+            ..Stats::default()
+        };
+        assert!(active.has_shard_activity());
+        assert!(active
+            .to_string()
+            .ends_with("shard_exchange_rounds=2 shard_deltas_exchanged=5"));
     }
 }

@@ -3,10 +3,11 @@
 //! A seeded differential fuzzing subsystem for the `sagiv-datalog`
 //! workspace, after Zhang et al., *"Finding Cross-rule Optimization Bugs in
 //! Datalog Engines"* (2024): the repo computes the same answers many ways —
-//! naive/semi-naive/SCC/stratified/parallel fixpoints, magic-sets and QSQ
-//! query answering, incremental insert/DRed-remove maintenance, §VII
-//! uniform-equivalence minimization, and the service's subsumption-cached
-//! point-query path — and precisely that redundancy is the test oracle.
+//! naive/semi-naive/SCC/stratified/parallel/sharded fixpoints, magic-sets
+//! and QSQ query answering, incremental insert/DRed-remove maintenance,
+//! §VII uniform-equivalence minimization, the service's subsumption-cached
+//! point-query path, and racing clients against the concurrent service
+//! registry — and precisely that redundancy is the test oracle.
 //! Random workloads are generated from `datalog-generate`,
 //! every computation path is cross-checked, and any disagreement is shrunk
 //! by a delta-debugging reducer into a self-contained fixture that replays
@@ -161,7 +162,7 @@ mod tests {
             reduce: false,
         });
         assert_eq!(report.total_cases(), 9);
-        assert_eq!(report.cases_run.len(), 4);
+        assert_eq!(report.cases_run.len(), 5);
         // The reference evaluations' storage work is folded into the report.
         assert!(report.eval.tuples_allocated > 0);
         assert!(report.eval.arena_bytes > 0);

@@ -26,14 +26,20 @@
 //!   from the cache, or filtered out of a more general cached set by §V/§VI
 //!   subsumption — must equal the pattern-filtered from-scratch fixpoint of
 //!   the same base.
+//! * **Concurrent service** — racing client threads drive
+//!   interleaving-independent insert/remove batches (plus readers) through
+//!   an in-process [`Registry`] (sharded per seed); because no fact is both
+//!   inserted and removed, every interleaving must converge to the same
+//!   final base, whose from-scratch fixpoint the served snapshot must
+//!   equal.
 
 use crate::workload::{Case, Mutation};
 use datalog_ast::{match_atom, Atom, Const, Database, GroundAtom, Pred, Program, Term};
 use datalog_engine::query::Strategy;
-use datalog_engine::Materialized;
 use datalog_engine::{magic, naive, qsq, scc_eval, seminaive, stratified, EvalOptions, Stats};
+use datalog_engine::{Materialized, ShardedMaterialized};
 use datalog_optimizer::{minimize_program, minimize_program_in_order, uniformly_equivalent};
-use datalog_service::{CacheStatus, QueryState, View};
+use datalog_service::{CacheStatus, QueryState, Registry, View};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -46,14 +52,16 @@ pub enum Family {
     Optimization,
     Incremental,
     QueryCache,
+    ConcurrentService,
 }
 
 impl Family {
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 5] = [
         Family::Engines,
         Family::Optimization,
         Family::Incremental,
         Family::QueryCache,
+        Family::ConcurrentService,
     ];
 
     pub fn name(self) -> &'static str {
@@ -62,6 +70,7 @@ impl Family {
             Family::Optimization => "optimization",
             Family::Incremental => "incremental",
             Family::QueryCache => "query-cache",
+            Family::ConcurrentService => "concurrent-service",
         }
     }
 
@@ -71,6 +80,7 @@ impl Family {
             "optimization" => Some(Family::Optimization),
             "incremental" => Some(Family::Incremental),
             "query-cache" => Some(Family::QueryCache),
+            "concurrent-service" => Some(Family::ConcurrentService),
             _ => None,
         }
     }
@@ -106,6 +116,7 @@ pub fn check(case: &Case) -> Vec<Divergence> {
         Family::Optimization => check_optimization(case),
         Family::Incremental => check_incremental(case),
         Family::QueryCache => check_query_cache(case),
+        Family::ConcurrentService => check_concurrent_service(case),
     }
 }
 
@@ -223,6 +234,13 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
         let (got, _) =
             seminaive::evaluate_with_opts(program, db, EvalOptions::with_threads(workers));
         engines.push((format!("parallel-{workers}"), got));
+    }
+    // The hash-partitioned sharded evaluator: N replica contexts splitting
+    // every delta by shard key and exchanging cross-shard derivations must
+    // land on the same fixpoint as one context.
+    for shards in [2usize, 4] {
+        let sharded = ShardedMaterialized::new(program.clone(), db, shards);
+        engines.push((format!("sharded-{shards}"), sharded.database().clone()));
     }
     // Specialized columnar kernels vs the row-at-a-time interpreter: the
     // default reference above runs with specialization on, so evaluating
@@ -526,6 +544,164 @@ fn check_query_cache(case: &Case) -> Vec<Divergence> {
                 Mutation::Remove(facts) => view.remove_then(facts.clone(), invalidate),
             };
         }
+    }
+    out
+}
+
+/// Render facts as a `facts` request field: `"a(1, 2). b(3)."`.
+fn facts_field(facts: &[GroundAtom]) -> String {
+    facts
+        .iter()
+        .map(|f| format!("{f}."))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Build one protocol request line.
+fn request_line(op: &str, fields: &[(&str, &str)]) -> String {
+    let mut pairs = vec![("op".to_string(), datalog_json::Value::from(op))];
+    pairs.extend(
+        fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), datalog_json::Value::from(*v))),
+    );
+    datalog_json::Value::Object(pairs).to_compact()
+}
+
+/// Race the case's mutation batches through an in-process [`Registry`]
+/// (the real service dispatcher, sharded per seed) from several client
+/// threads, with readers hammering queries throughout. The workload is
+/// interleaving-independent by construction — no fact is both inserted and
+/// removed — so every schedule must converge to base = initial ∪ inserts ∖
+/// removals, and the served snapshot must equal that base's from-scratch
+/// fixpoint.
+fn check_concurrent_service(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    if !program.is_positive() {
+        return out;
+    }
+    let diverge = |kind: &str, message: String| Divergence {
+        family: Family::ConcurrentService,
+        kind: format!("service:{kind}"),
+        message,
+    };
+    let shards = [1usize, 2, 4][(case.seed % 3) as usize];
+    let registry = Registry::with_shards(shards);
+    // Lint gate off: generated programs may trip style lints; this oracle
+    // tests serving, not the gate.
+    let entry = match registry.install("p", &program.to_string(), true, false) {
+        Ok(entry) => entry,
+        Err(e) => {
+            out.push(diverge(
+                "install",
+                format!("install of a valid positive program failed: {e}"),
+            ));
+            return out;
+        }
+    };
+    // The initial base goes in before the race (it is the "∪ initial" term
+    // of the expected final state, not part of the interleaving).
+    entry.view.insert(case.db.iter().collect());
+
+    // Serialize each batch as the exact wire request a client would send.
+    let lines: Vec<String> = case
+        .mutations
+        .iter()
+        .map(|m| {
+            let (op, facts) = match m {
+                Mutation::Insert(fs) => ("insert", fs),
+                Mutation::Remove(fs) => ("remove", fs),
+            };
+            request_line(op, &[("program", "p"), ("facts", &facts_field(facts))])
+        })
+        .collect();
+    let query_lines: Vec<String> = case
+        .queries
+        .iter()
+        .map(|q| request_line("query", &[("program", "p"), ("atom", &q.to_string())]))
+        .collect();
+
+    // Race: 3 writer threads split the batches round-robin; a reader
+    // thread cycles the queries. Every response must be ok — collected,
+    // not asserted, so a failure reports as a divergence.
+    let writers = 3usize.min(lines.len().max(1));
+    let failures: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let registry = &registry;
+            let lines = &lines;
+            let failures = &failures;
+            scope.spawn(move || {
+                for line in lines.iter().skip(w).step_by(writers) {
+                    let (resp, _) = registry.handle_line(line);
+                    if !resp.contains("\"ok\":true") {
+                        failures.lock().unwrap().push(format!("{line} -> {resp}"));
+                    }
+                }
+            });
+        }
+        if !query_lines.is_empty() {
+            let registry = &registry;
+            let query_lines = &query_lines;
+            let failures = &failures;
+            scope.spawn(move || {
+                for _ in 0..8 {
+                    for line in query_lines {
+                        let (resp, _) = registry.handle_line(line);
+                        if !resp.contains("\"ok\":true") {
+                            failures.lock().unwrap().push(format!("{line} -> {resp}"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    for failure in failures.into_inner().unwrap().into_iter().take(3) {
+        out.push(diverge("request", format!("request failed: {failure}")));
+    }
+    if !out.is_empty() {
+        return out;
+    }
+
+    // The interleaving-independent expectation.
+    let mut expected_base = case.db.clone();
+    for m in &case.mutations {
+        if let Mutation::Insert(fs) = m {
+            for f in fs {
+                expected_base.insert(f.clone());
+            }
+        }
+    }
+    for m in &case.mutations {
+        if let Mutation::Remove(fs) = m {
+            for f in fs {
+                expected_base.remove(f);
+            }
+        }
+    }
+    let got_base = entry.view.base();
+    if got_base != expected_base {
+        out.push(diverge(
+            "base",
+            format!(
+                "final base depends on the interleaving (shards={shards}): {}",
+                diff_sample(&expected_base, &got_base)
+            ),
+        ));
+        return out;
+    }
+    let expected = seminaive::evaluate(program, &expected_base);
+    let got = entry.view.snapshot();
+    if *got != expected {
+        out.push(diverge(
+            "final",
+            format!(
+                "served fixpoint disagrees with from-scratch evaluation of the final base \
+                 (shards={shards}): {}",
+                diff_sample(&expected, &got)
+            ),
+        ));
     }
     out
 }

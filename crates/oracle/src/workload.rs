@@ -4,8 +4,10 @@
 //! A [`Case`] carries everything any of the oracle families could need;
 //! each family reads the parts relevant to it (the engine matrix uses
 //! `program`/`db`/`queries`, the optimization oracle `program`/`db`, the
-//! incremental oracle `program`/`db`/`mutations`, and the query-cache
-//! oracle all four — queries interleaved with mutations). Generation is
+//! incremental oracle `program`/`db`/`mutations`, the query-cache
+//! oracle all four — queries interleaved with mutations — and the
+//! concurrent-service oracle races *interleaving-independent* mutations
+//! from several client threads). Generation is
 //! deterministic per `(seed, family)` — the same seed always reproduces the
 //! same case, which is what makes a divergence report actionable.
 //!
@@ -15,7 +17,7 @@
 //! ignoring seeded IDB facts, DRed base-fact tracking) only surface there.
 
 use crate::oracles::Family;
-use datalog_ast::{Atom, Const, Database, GroundAtom, Pred, Program, Term, Var};
+use datalog_ast::{Atom, Const, Database, GroundAtom, Pred, Program, Rule, Term, Var};
 use datalog_generate::{
     inject, random_db, random_program, random_stratified_program, same_generation,
     transitive_closure, RandomProgramSpec, TcVariant,
@@ -89,18 +91,28 @@ pub(crate) fn pred_arities(program: &Program) -> Vec<(Pred, usize)> {
 /// Generate the case for `(seed, family)`.
 pub fn generate(seed: u64, family: Family) -> Case {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let program = pick_program(&mut rng, family);
+    let mut program = pick_program(&mut rng, family);
+    if family == Family::ConcurrentService {
+        // This family installs the program through the real text protocol,
+        // so it must survive a render → parse round trip; redundancy
+        // injection's reserved `$`-namespace variables are unparseable by
+        // design and get plain source names here.
+        program = unreserve_vars(&program);
+    }
     let db = pick_db(&mut rng, &program);
-    let wants_queries = matches!(family, Family::Engines | Family::QueryCache);
+    let wants_queries = matches!(
+        family,
+        Family::Engines | Family::QueryCache | Family::ConcurrentService
+    );
     let queries = if wants_queries && program.is_positive() {
         pick_queries(&mut rng, &program, &db)
     } else {
         Vec::new()
     };
-    let mutations = if matches!(family, Family::Incremental | Family::QueryCache) {
-        pick_mutations(&mut rng, &program, &db)
-    } else {
-        Vec::new()
+    let mutations = match family {
+        Family::Incremental | Family::QueryCache => pick_mutations(&mut rng, &program, &db),
+        Family::ConcurrentService => pick_service_mutations(&mut rng, &program, &db),
+        _ => Vec::new(),
     };
     Case {
         family,
@@ -114,8 +126,8 @@ pub fn generate(seed: u64, family: Family) -> Case {
 
 fn pick_program(rng: &mut StdRng, family: Family) -> Program {
     // The engine matrix also exercises stratified negation; the other
-    // families require positive programs (minimization, Materialized, and
-    // the top-down query engines are positive-only).
+    // families require positive programs (minimization, Materialized, the
+    // top-down query engines, and the service's views are positive-only).
     let stratified_ok = family == Family::Engines;
     loop {
         let p = match rng.gen_range(0..10u32) {
@@ -280,6 +292,105 @@ fn pick_mutations(rng: &mut StdRng, program: &Program, db: &Database) -> Vec<Mut
     out
 }
 
+/// Rename reserved `$`-namespace variables (as introduced by redundancy
+/// injection) to plain parseable names, per rule — Datalog variables are
+/// rule-scoped, so a fresh `UV{n}` name per rule preserves the semantics
+/// as long as it collides with nothing else in that rule.
+fn unreserve_vars(program: &Program) -> Program {
+    let rename_rule = |rule: &Rule| -> Rule {
+        let vars = rule.vars();
+        let taken: BTreeSet<String> = vars.iter().map(|v| v.name()).collect();
+        let mut next = 0usize;
+        let mut map: Vec<(Var, Var)> = Vec::new();
+        for v in &vars {
+            if !v.name().contains('$') {
+                continue;
+            }
+            let fresh = loop {
+                let candidate = format!("UV{next}");
+                next += 1;
+                if !taken.contains(candidate.as_str()) {
+                    break Var::new(&candidate);
+                }
+            };
+            map.push((*v, fresh));
+        }
+        if map.is_empty() {
+            return rule.clone();
+        }
+        let rename_atom = |atom: &Atom| Atom {
+            pred: atom.pred,
+            terms: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(
+                        map.iter()
+                            .find(|(from, _)| from == v)
+                            .map(|(_, to)| *to)
+                            .unwrap_or(*v),
+                    ),
+                    c => *c,
+                })
+                .collect(),
+        };
+        Rule {
+            head: rename_atom(&rule.head),
+            body: rule
+                .body
+                .iter()
+                .map(|l| datalog_ast::Literal {
+                    atom: rename_atom(&l.atom),
+                    negated: l.negated,
+                })
+                .collect(),
+            spans: None,
+        }
+    };
+    Program {
+        rules: program.rules.iter().map(rename_rule).collect(),
+    }
+}
+
+/// Interleaving-independent service batches: racing client threads may
+/// commit these in **any** order and must converge to the same final base.
+/// That holds by construction — inserts draw fresh facts (constants ≥ 100,
+/// disjoint from the initial domain, so no insert collides with a removal),
+/// and removals draw facts from the initial database — making the expected
+/// final base `initial ∪ inserts ∖ removals` regardless of schedule.
+fn pick_service_mutations(rng: &mut StdRng, program: &Program, db: &Database) -> Vec<Mutation> {
+    let arities = pred_arities(program);
+    let existing: Vec<GroundAtom> = db.iter().collect();
+    let n = rng.gen_range(4..9);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let batch_len = rng.gen_range(1..4);
+        if rng.gen_bool(0.6) || existing.is_empty() {
+            let facts: Vec<GroundAtom> = (0..batch_len)
+                .map(|_| {
+                    let (pred, arity) = arities[rng.gen_range(0..arities.len())];
+                    let tuple: Vec<Const> = (0..arity)
+                        .map(|_| Const::Int(rng.gen_range(100..112)))
+                        .collect();
+                    GroundAtom {
+                        pred,
+                        tuple: tuple.into(),
+                    }
+                })
+                .collect();
+            out.push(Mutation::Insert(facts));
+        } else {
+            // Duplicate targets across batches are fine: removal is
+            // idempotent, so any schedule still ends at the same base.
+            let facts: Vec<GroundAtom> = (0..batch_len)
+                .map(|_| existing[rng.gen_range(0..existing.len())].clone())
+                .collect();
+            out.push(Mutation::Remove(facts));
+        }
+    }
+    out
+}
+
 /// A generated random database in the `random_db` style, re-exported for
 /// callers that want a quick EDB without building a whole case.
 pub fn quick_db(preds: &[(&str, usize)], tuples_per: usize, domain: i64, seed: u64) -> Database {
@@ -343,6 +454,33 @@ mod tests {
             }
         }
         assert!(with_both > 10, "only {with_both}/40 cases had mutations");
+    }
+
+    #[test]
+    fn concurrent_service_cases_are_interleaving_independent() {
+        for seed in 0..40 {
+            let c = generate(seed, Family::ConcurrentService);
+            assert!(c.program.is_positive(), "seed {seed}");
+            let inserted: std::collections::BTreeSet<GroundAtom> = c
+                .mutations
+                .iter()
+                .filter(|m| m.is_insert())
+                .flat_map(|m| m.facts().iter().cloned())
+                .collect();
+            for m in c.mutations.iter().filter(|m| !m.is_insert()) {
+                for f in m.facts() {
+                    assert!(
+                        !inserted.contains(f),
+                        "seed {seed}: fact {f} both inserted and removed — the final \
+                         base would depend on the interleaving"
+                    );
+                    assert!(
+                        c.db.contains(f),
+                        "seed {seed}: removal of a non-initial fact"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

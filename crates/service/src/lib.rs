@@ -21,13 +21,21 @@
 //!   top-down plans (magic sets / QSQR over the view's base facts) behind a
 //!   subsumption-aware answer cache whose admission and reuse are decided
 //!   by the paper's §V/§VI containment tests;
+//! * [`shard`] — hash-partitioned views ([`datalog_engine::ShardedMaterialized`]
+//!   behind group-committed per-shard snapshot slots): N shard workers run
+//!   the fixpoint over partitioned deltas and exchange cross-shard
+//!   derivations each round, while readers round-robin over per-shard
+//!   published `Arc` snapshots;
 //! * [`metrics`] — per-program and server-wide request counts, latency, and
 //!   aggregated [`datalog_engine::Stats`], served by the `stats` request;
 //! * [`pool`] — the fixed-size worker thread pool, re-exported from
 //!   `datalog-engine` (one shared primitive drives both the engine's
 //!   parallel rule evaluation and this server's connection handling);
-//! * [`server`] — the TCP daemon: bounded request framing, per-connection
-//!   read timeouts, panic isolation, graceful shutdown;
+//! * [`server`] — the TCP daemon: a readiness-driven `poll(2)` event loop
+//!   (idle connections cost no threads and no wake-ups) feeding a bounded
+//!   worker pool, with admission control, streaming payload-limit
+//!   enforcement, wall-clock idle deadlines, panic isolation, and graceful
+//!   shutdown;
 //! * [`client`] — a small blocking client used by the CLI, tests, and
 //!   benches.
 //!
@@ -56,6 +64,7 @@ pub mod protocol;
 pub mod query;
 pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod view;
 
 pub use client::Client;
@@ -65,4 +74,5 @@ pub use protocol::{ErrorCode, ServiceError};
 pub use query::{CacheStatus, QueryState};
 pub use registry::{Control, ProgramEntry, Registry};
 pub use server::{Server, ServerConfig};
+pub use shard::ShardedView;
 pub use view::{View, ViewState};

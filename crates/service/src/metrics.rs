@@ -129,6 +129,14 @@ impl Metrics {
                         "query_cache_entries",
                         Value::from(inner.eval.query_cache_entries),
                     ),
+                    (
+                        "shard_exchange_rounds",
+                        Value::from(inner.eval.shard_exchange_rounds),
+                    ),
+                    (
+                        "shard_deltas_exchanged",
+                        Value::from(inner.eval.shard_deltas_exchanged),
+                    ),
                 ]),
             ),
             ("atoms_added", Value::from(inner.atoms_added)),
@@ -165,6 +173,8 @@ mod tests {
             query_cache_subsumption_hits: 3,
             query_cache_invalidations: 5,
             query_cache_entries: 2,
+            shard_exchange_rounds: 6,
+            shard_deltas_exchanged: 11,
         });
         m.record_mutation(4, 1);
 
@@ -200,6 +210,11 @@ mod tests {
             Some(5)
         );
         assert_eq!(eval.get("query_cache_entries").unwrap().as_u64(), Some(2));
+        assert_eq!(eval.get("shard_exchange_rounds").unwrap().as_u64(), Some(6));
+        assert_eq!(
+            eval.get("shard_deltas_exchanged").unwrap().as_u64(),
+            Some(11)
+        );
         assert_eq!(j.get("atoms_added").unwrap().as_u64(), Some(4));
     }
 }

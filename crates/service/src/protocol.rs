@@ -48,6 +48,9 @@ pub enum ErrorCode {
     Unsupported,
     /// The handler panicked; the connection survives, the request failed.
     Internal,
+    /// Admission control: the server is at its connection limit and turned
+    /// this connection away.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -64,6 +67,7 @@ impl ErrorCode {
             ErrorCode::LintRejected => "lint_rejected",
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }
@@ -186,6 +190,7 @@ mod tests {
             ErrorCode::ReadTimeout,
             ErrorCode::LintRejected,
             ErrorCode::Internal,
+            ErrorCode::Overloaded,
         ] {
             assert!(!code.as_str().is_empty());
             assert_eq!(code.to_string(), code.as_str());

@@ -13,7 +13,7 @@ use crate::protocol::{
     bool_field, error_response, ok_response, str_field, ErrorCode, ServiceError,
 };
 use crate::query::QueryState;
-use crate::view::View;
+use crate::shard::ShardedView;
 use datalog_analysis::{analyze_unit, LintConfig, Severity};
 use datalog_ast::{
     match_atom, parse_atom, parse_database, parse_program, validate, Database, GroundAtom, Pred,
@@ -48,7 +48,9 @@ pub struct ProgramEntry {
     pub atoms_removed: usize,
     /// Whole rules deleted by §VII minimization.
     pub rules_removed: usize,
-    pub view: View,
+    /// The materialisation, hash-partitioned across the registry's
+    /// configured shard count (1 = unsharded semantics, same machinery).
+    pub view: ShardedView,
     /// The point-query subsystem: cached top-down plans plus the
     /// subsumption-aware answer cache (see [`crate::query`]).
     pub query: QueryState,
@@ -62,6 +64,8 @@ pub struct Registry {
     programs: RwLock<BTreeMap<String, Arc<ProgramEntry>>>,
     metrics: Metrics,
     started: Instant,
+    /// Shard workers per installed view.
+    shards: usize,
 }
 
 impl Default for Registry {
@@ -71,12 +75,25 @@ impl Default for Registry {
 }
 
 impl Registry {
+    /// A registry with unsharded (single-partition) views.
     pub fn new() -> Registry {
+        Registry::with_shards(1)
+    }
+
+    /// A registry whose views hash-partition their fixpoints across
+    /// `shards` workers (clamped to ≥ 1).
+    pub fn with_shards(shards: usize) -> Registry {
         Registry {
             programs: RwLock::new(BTreeMap::new()),
             metrics: Metrics::default(),
             started: Instant::now(),
+            shards: shards.max(1),
         }
+    }
+
+    /// The shard count every installed view is partitioned across.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Server-wide counters (every request, all programs).
@@ -160,7 +177,7 @@ impl Registry {
             installed: installed.clone(),
             atoms_removed: removal.atoms.len(),
             rules_removed: removal.rules.len(),
-            view: View::new(installed.clone(), &Database::new()),
+            view: ShardedView::new(installed.clone(), &Database::new(), self.shards),
             query: QueryState::new(&installed),
             metrics: Metrics::default(),
         });

@@ -18,10 +18,10 @@
 //! datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N] equivalence analysis (§X–§XI)
 //! datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
 //! datalog serve    [--addr H:P] [--threads N]          materialized-view daemon (JSON protocol)
-//!                  [--max-bytes N] [--timeout-ms N]
+//!                  [--shards N] [--max-bytes N] [--timeout-ms N] [--max-conns N]
 //! datalog client   <addr> [request-json]...            send protocol requests (stdin if none)
 //! datalog fuzz     [--seed N] [--cases N] [--budget-ms N]   differential oracle fuzzing
-//!                  [--oracle all|engines|optimization|incremental|query-cache]
+//!                  [--oracle all|engines|optimization|incremental|query-cache|concurrent-service]
 //!                  [--format text|json] [--repro-dir DIR] [--smoke]
 //! ```
 //!
@@ -93,7 +93,8 @@ usage:
   datalog contains <p1.dl> <p2.dl>
   datalog equiv    <p1.dl> <p2.dl> [--fuel N] [--samples N]
   datalog chase    <program.dl> --tgds <tgds.dl> --db <facts.dl> [--fuel N]
-  datalog serve    [--addr HOST:PORT] [--threads N] [--max-bytes N] [--timeout-ms N]
+  datalog serve    [--addr HOST:PORT] [--threads N] [--shards N] [--max-bytes N]
+                   [--timeout-ms N] [--max-conns N]
   datalog client   <addr> [request-json]...   (reads stdin when no requests given)
   datalog fuzz     [--seed N] [--cases N] [--budget-ms N] [--oracle FAMILY]
                    [--format text|json] [--repro-dir DIR] [--smoke]"
@@ -588,7 +589,8 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let (pos, flags) = split_flags(args)?;
     if !pos.is_empty() {
         return Err(
-            "usage: datalog serve [--addr HOST:PORT] [--threads N] [--max-bytes N] [--timeout-ms N]"
+            "usage: datalog serve [--addr HOST:PORT] [--threads N] [--shards N] [--max-bytes N] \
+             [--timeout-ms N] [--max-conns N]"
                 .into(),
         );
     }
@@ -609,6 +611,16 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             .parse()
             .map_err(|_| format!("--timeout-ms: `{v}` is not a number"))?;
         config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = flags.get("shards") {
+        config.shards = v
+            .parse()
+            .map_err(|_| format!("--shards: `{v}` is not a number"))?;
+    }
+    if let Some(v) = flags.get("max-conns") {
+        config.max_connections = v
+            .parse()
+            .map_err(|_| format!("--max-conns: `{v}` is not a number"))?;
     }
     let server = Server::bind(addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
@@ -701,7 +713,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
             "all" => Family::ALL.to_vec(),
             name => vec![Family::parse(name).ok_or_else(|| {
                 format!(
-                    "--oracle: `{name}` is not all|engines|optimization|incremental|query-cache"
+                    "--oracle: `{name}` is not all|engines|optimization|incremental|query-cache|concurrent-service"
                 )
             })?],
         };

@@ -469,6 +469,288 @@ fn robustness_against_malformed_and_hostile_input() {
     expect_clean_exit(child);
 }
 
+/// Regression: the seed transport parked one thread per connection in a
+/// 100 ms `read_timeout` sleep loop, so shutdown had to wait for every
+/// idle connection's next wake-up. The event loop notices shutdown
+/// immediately; with a pile of idle connections the daemon must still
+/// exit in well under 50 ms.
+#[test]
+fn shutdown_with_idle_connections_is_immediate() {
+    let (mut child, addr) = spawn_daemon(&["--threads", "2"]);
+
+    // Park a crowd of idle connections (no thread each under the event
+    // loop; each would have pinned a 100 ms-wakeup thread in the seed).
+    let idle: Vec<TcpStream> = (0..32)
+        .map(|_| TcpStream::connect(&addr).expect("idle connect"))
+        .collect();
+    let mut admin = Client::connect(&addr).expect("connect");
+    assert_ok(&request(&mut admin, "{\"op\":\"ping\"}"));
+
+    assert_ok(&request(&mut admin, "{\"op\":\"shutdown\"}"));
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                break;
+            }
+            None => {
+                assert!(
+                    t0.elapsed() < Duration::from_millis(50),
+                    "shutdown took ≥50 ms with {} idle connections",
+                    idle.len()
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    drop(idle);
+}
+
+/// Regression: the payload limit must be enforced *while* reading. The
+/// seed buffered an oversized line until a newline (or until the limit
+/// plus a full extra chunk) before failing; now a line that cannot
+/// complete within the limit is rejected at limit+1 bytes, newline or not.
+#[test]
+fn oversize_line_fails_at_limit_plus_one_while_reading() {
+    let (child, addr) = spawn_daemon(&["--max-bytes", "4096"]);
+
+    let mut s = TcpStream::connect(&addr).expect("connect raw");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // One byte past the limit, and no newline in sight: the server must
+    // not wait for one.
+    s.write_all(&vec![b'x'; 4097]).expect("write oversize");
+    let mut response = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(e) => panic!("expected oversize error then close, got {e}"),
+        }
+    }
+    assert!(
+        response.contains("\"code\":\"payload_too_large\""),
+        "{response:?}"
+    );
+    assert!(response.contains("4096-byte limit"), "{response:?}");
+
+    // The daemon is unaffected.
+    let mut fresh = Client::connect(&addr).expect("connect after oversize");
+    assert_ok(&request(&mut fresh, "{\"op\":\"ping\"}"));
+    assert_ok(&request(&mut fresh, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
+/// Regression: the idle timeout is a wall-clock deadline reset only by a
+/// *complete request*. The seed reset its idle counter on every readable
+/// chunk, so a slowloris trickling one byte per poll interval was never
+/// timed out (and the counter itself accumulated poll intervals instead
+/// of measuring time).
+#[test]
+fn slowloris_trickle_still_times_out_on_wall_clock() {
+    let (child, addr) = spawn_daemon(&["--timeout-ms", "600"]);
+
+    let s = TcpStream::connect(&addr).expect("connect raw");
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut reader = s.try_clone().expect("clone stream");
+    let writer = std::thread::spawn(move || {
+        let mut s = s;
+        // Trickle bytes (never a newline) well past the 600 ms deadline;
+        // errors just mean the server already closed on us, as it should.
+        for _ in 0..40 {
+            if s.write_all(b"x").is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(75));
+        }
+    });
+
+    let t0 = Instant::now();
+    let mut response = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "server never timed out the trickling connection"
+                );
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+        if response.contains('\n') && !response.is_empty() {
+            break;
+        }
+    }
+    assert!(
+        response.contains("\"code\":\"read_timeout\""),
+        "{response:?}"
+    );
+    assert!(
+        t0.elapsed() >= Duration::from_millis(500),
+        "timed out too early ({:?}) — deadline must be wall-clock from the last complete request",
+        t0.elapsed()
+    );
+    writer.join().expect("writer thread");
+
+    let mut fresh = Client::connect(&addr).expect("connect after slowloris");
+    assert_ok(&request(&mut fresh, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
+/// Admission control: connections beyond `--max-conns` get a structured
+/// `overloaded` error and an immediate close instead of a slab slot.
+#[test]
+fn connections_beyond_the_limit_are_turned_away() {
+    let (child, addr) = spawn_daemon(&["--max-conns", "2"]);
+
+    let mut c1 = Client::connect(&addr).expect("connect 1");
+    let mut c2 = Client::connect(&addr).expect("connect 2");
+    assert_ok(&request(&mut c1, "{\"op\":\"ping\"}"));
+    assert_ok(&request(&mut c2, "{\"op\":\"ping\"}"));
+
+    let mut turned_away = TcpStream::connect(&addr).expect("connect 3");
+    turned_away
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut response = String::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match turned_away.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(e) => panic!("expected overloaded error then close, got {e}"),
+        }
+    }
+    assert!(response.contains("\"code\":\"overloaded\""), "{response:?}");
+
+    // Admitted connections are unaffected, and a freed slot readmits.
+    assert_ok(&request(&mut c1, "{\"op\":\"ping\"}"));
+    drop(c2);
+    std::thread::sleep(Duration::from_millis(50));
+    let mut readmitted = Client::connect(&addr).expect("connect after free");
+    assert_ok(&request(&mut readmitted, "{\"op\":\"ping\"}"));
+
+    assert_ok(&request(&mut c1, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
+/// The sharded daemon (4 hash-partitioned fixpoint workers per view) must
+/// behave exactly like the unsharded one under a racing writer: every
+/// served snapshot transitively closed, the final answers equal to a fresh
+/// single-context evaluation, and the exchange counters visible in stats.
+#[test]
+fn sharded_daemon_matches_fresh_evaluation_under_racing_writer() {
+    let (child, addr) = spawn_daemon(&["--threads", "8", "--shards", "4"]);
+    let mut admin = Client::connect(&addr).expect("connect");
+    const TC: &str = "g(X, Z) :- a(X, Z). g(X, Z) :- g(X, Y), g(Y, Z).";
+    assert_ok(&request(
+        &mut admin,
+        &format!("{{\"op\":\"install\",\"program\":\"tc\",\"rules\":\"{TC}\"}}"),
+    ));
+
+    let writer_addr = addr.clone();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(&writer_addr).expect("writer connect");
+        for i in 0..20i64 {
+            assert_ok(&request(
+                &mut c,
+                &format!(
+                    "{{\"op\":\"insert\",\"program\":\"tc\",\"facts\":\"a({i},{}).\"}}",
+                    i + 1
+                ),
+            ));
+            if i % 4 == 3 {
+                assert_ok(&request(
+                    &mut c,
+                    &format!(
+                        "{{\"op\":\"remove\",\"program\":\"tc\",\"facts\":\"a({},{}).\"}}",
+                        i - 2,
+                        i - 1
+                    ),
+                ));
+            }
+        }
+    });
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("reader connect");
+                for _ in 0..30 {
+                    let resp = request(
+                        &mut c,
+                        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(X, Y)\"}",
+                    );
+                    assert_ok(&resp);
+                    let g: std::collections::BTreeSet<(i64, i64)> =
+                        pairs(&resp).into_iter().collect();
+                    for &(x, y) in &g {
+                        for &(y2, z) in &g {
+                            if y2 == y {
+                                assert!(
+                                    g.contains(&(x, z)),
+                                    "sharded snapshot not transitively closed"
+                                );
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Replay the writer's deterministic batches; the sharded service must
+    // serve exactly the single-context fixpoint of the final base.
+    let mut base = Database::new();
+    for i in 0..20i64 {
+        base.insert(fact("a", [i, i + 1]));
+        if i % 4 == 3 {
+            base.remove(&fact("a", [i - 2, i - 1]));
+        }
+    }
+    let expected = seminaive::evaluate(&parse_program(TC).unwrap(), &base);
+    let resp = request(
+        &mut admin,
+        "{\"op\":\"query\",\"program\":\"tc\",\"atom\":\"g(X, Y)\"}",
+    );
+    assert_ok(&resp);
+    let served: std::collections::BTreeSet<(i64, i64)> = pairs(&resp).into_iter().collect();
+    let fresh: std::collections::BTreeSet<(i64, i64)> = expected
+        .relation(Pred::new("g"))
+        .map(|t| {
+            let mut it = t.iter();
+            let x = format!("{}", it.next().unwrap()).parse().unwrap();
+            let y = format!("{}", it.next().unwrap()).parse().unwrap();
+            (x, y)
+        })
+        .collect();
+    assert_eq!(served, fresh, "sharded service diverged from fresh eval");
+
+    // The partitioned fixpoint actually ran: exchange counters are live.
+    let resp = request(&mut admin, "{\"op\":\"stats\",\"program\":\"tc\"}");
+    assert_ok(&resp);
+    let eval = resp.get("metrics").unwrap().get("eval").unwrap();
+    assert!(
+        eval.get("shard_exchange_rounds").unwrap().as_u64().unwrap() > 0,
+        "{eval}"
+    );
+
+    assert_ok(&request(&mut admin, "{\"op\":\"shutdown\"}"));
+    expect_clean_exit(child);
+}
+
 #[test]
 fn client_subcommand_round_trips() {
     let (child, addr) = spawn_daemon(&[]);

@@ -50,7 +50,9 @@ pub use parse::{
     ParseError, Unit,
 };
 pub use program::Program;
-pub use relation::{hash_codes, hash_codes_fold, hash_codes_seed, hash_row, Relation, RowHashMap};
+pub use relation::{
+    hash_codes, hash_codes_batch, hash_codes_fold, hash_codes_seed, hash_row, Relation, RowHashMap,
+};
 pub use rule::Rule;
 pub use schema::{ColType, Schema, SchemaError, SchemaSet};
 pub use span::{RuleSpans, Span};

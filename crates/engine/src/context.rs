@@ -75,6 +75,11 @@ pub struct EvalOptions {
     /// rule — the differential reference the oracle fuzzer and the E20
     /// benchmark compare the kernels against.
     pub specialize: bool,
+    /// Lower eligible 3+-atom scripts to the multi-atom pipelined kernel
+    /// (default). `false` keeps the 1-/2-atom kernels but sends longer
+    /// bodies to the interpreter — the reference side of the pipeline
+    /// differentials, isolating the new tier.
+    pub pipeline: bool,
 }
 
 impl EvalOptions {
@@ -83,6 +88,7 @@ impl EvalOptions {
         EvalOptions {
             threads: 1,
             specialize: true,
+            pipeline: true,
         }
     }
 
@@ -91,6 +97,7 @@ impl EvalOptions {
         EvalOptions {
             threads: threads.max(1),
             specialize: true,
+            pipeline: true,
         }
     }
 
@@ -100,12 +107,20 @@ impl EvalOptions {
         EvalOptions {
             threads: 1,
             specialize: false,
+            pipeline: false,
         }
     }
 
     /// Toggle specialized-kernel lowering on this option set.
     pub fn with_specialize(mut self, specialize: bool) -> EvalOptions {
         self.specialize = specialize;
+        self
+    }
+
+    /// Toggle the multi-atom pipelined kernel on this option set (the
+    /// 1-/2-atom kernels follow `specialize`).
+    pub fn with_pipeline(mut self, pipeline: bool) -> EvalOptions {
+        self.pipeline = pipeline;
         self
     }
 }
@@ -115,6 +130,7 @@ impl Default for EvalOptions {
         EvalOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             specialize: true,
+            pipeline: true,
         }
     }
 }
@@ -298,7 +314,7 @@ fn keysrc(slot: Slot) -> KeySrc {
 /// Compile `plan`'s body under `order` into a [`JoinScript`]. The binding
 /// pattern at each depth is fully determined by the order, which is what
 /// lets the executor run against pre-built, read-only indexes.
-fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
+pub(crate) fn compile_script(plan: &RulePlan, order: &[usize]) -> JoinScript {
     let mut bound = vec![false; plan.num_vars()];
     let mut steps = Vec::with_capacity(order.len());
     for &atom_i in order {
@@ -399,6 +415,11 @@ pub(crate) struct TaskOutput {
     /// Probe keys dropped because a constant was absent from the target
     /// column's dictionary — joins answered without touching any row.
     pub(crate) dict_filtered: u64,
+    /// Key blocks hashed through the lane-unrolled batch path.
+    pub(crate) simd_blocks: u64,
+    /// Delta tasks whose gathered key blocks were replayed from the
+    /// round's batch cache instead of re-gathered.
+    pub(crate) batch_reuse: u64,
     /// Drop head tuples already present in the database before allocating
     /// them. Valid for committing rounds (the commit would discard them
     /// anyway); the DRed overdeletion sweep must keep them.
@@ -423,6 +444,8 @@ impl TaskOutput {
             matches: 0,
             batch_rows: 0,
             dict_filtered: 0,
+            simd_blocks: 0,
+            batch_reuse: 0,
             filter_known,
             seen: HashMap::new(),
             keys: Vec::new(),
@@ -471,30 +494,49 @@ fn run_task(
     delta_store: &IndexStore,
     db: &Database,
     delta_db: &Database,
+    cache: &kernels::BatchCache,
     out: &mut TaskOutput,
 ) {
-    match executor {
-        Executor::Scan => kernels::run_scan(script, task, store, delta_store, db, delta_db, out),
-        Executor::HashJoin { width } => {
-            kernels::run_hash_join(script, *width, task, store, delta_store, db, delta_db, out)
+    // Kernels return `false` for shapes beyond their monomorphized tiers
+    // (debug-asserted — `specialize` shouldn't pick them); fall through to
+    // the interpreter instead of panicking.
+    let handled = match executor {
+        Executor::Scan => {
+            kernels::run_scan(script, task, store, delta_store, db, delta_db, out);
+            true
         }
-        Executor::Interpreted => {
-            if out.keys.len() < script.steps.len() {
-                out.keys.resize_with(script.steps.len(), Vec::new);
-            }
-            let mut assignment: Vec<Option<Const>> = vec![None; script.num_vars];
-            exec(
-                script,
-                0,
-                task,
-                store,
-                delta_store,
-                db,
-                delta_db,
-                &mut assignment,
-                out,
-            );
+        Executor::HashJoin { width } => kernels::run_hash_join(
+            script,
+            *width,
+            task,
+            store,
+            delta_store,
+            db,
+            delta_db,
+            cache,
+            out,
+        ),
+        Executor::Pipeline { .. } => {
+            kernels::run_pipeline(script, task, store, delta_store, db, delta_db, cache, out)
         }
+        Executor::Interpreted => false,
+    };
+    if !handled {
+        if out.keys.len() < script.steps.len() {
+            out.keys.resize_with(script.steps.len(), Vec::new);
+        }
+        let mut assignment: Vec<Option<Const>> = vec![None; script.num_vars];
+        exec(
+            script,
+            0,
+            task,
+            store,
+            delta_store,
+            db,
+            delta_db,
+            &mut assignment,
+            out,
+        );
     }
 }
 
@@ -634,6 +676,8 @@ pub struct EvalContext {
     store: Arc<IndexStore>,
     threads: usize,
     specialize: bool,
+    pipeline: bool,
+    batch_cache: Arc<kernels::BatchCache>,
     pool: Option<ThreadPool>,
     stats: Stats,
 }
@@ -645,6 +689,7 @@ impl std::fmt::Debug for EvalContext {
             .field("db_atoms", &self.db.len())
             .field("threads", &self.threads)
             .field("specialize", &self.specialize)
+            .field("pipeline", &self.pipeline)
             .field("stats", &self.stats)
             .finish()
     }
@@ -684,6 +729,8 @@ impl EvalContext {
             store: Arc::new(IndexStore::default()),
             threads: opts.threads.max(1),
             specialize: opts.specialize,
+            pipeline: opts.pipeline,
+            batch_cache: Arc::new(kernels::BatchCache::default()),
             pool: None,
             stats,
         }
@@ -699,6 +746,10 @@ impl EvalContext {
             store: Arc::clone(&self.store),
             threads: self.threads,
             specialize: self.specialize,
+            pipeline: self.pipeline,
+            // A fork evaluates its own rounds; sharing cached delta batches
+            // across contexts would mix generations, so start fresh.
+            batch_cache: Arc::new(kernels::BatchCache::default()),
             pool: None,
             stats: self.stats,
         }
@@ -861,8 +912,14 @@ impl EvalContext {
         }
         let executors: Vec<Executor> = scripts
             .iter()
-            .map(|s| kernels::specialize(s, self.specialize))
+            .map(|s| kernels::specialize(s, self.specialize, self.pipeline))
             .collect();
+
+        // Every round invalidates the previous round's cached delta-side
+        // gather batches: the delta changed, so their keys can never match
+        // again. Bumping the generation (rather than trusting callers)
+        // keeps stale reuse structurally impossible.
+        self.batch_cache.begin_round();
 
         // Ensure every index the scripts will probe before going read-only;
         // on steady-state rounds nothing is missing and this is a no-op.
@@ -919,6 +976,10 @@ impl EvalContext {
             .iter()
             .filter(|t| executors[t.script].is_specialized())
             .count() as u64;
+        self.stats.pipelined_tasks += tasks
+            .iter()
+            .filter(|t| executors[t.script].is_pipelined())
+            .count() as u64;
 
         let mut out = TaskOutput::new(filter_known);
         if self.threads > 1 && tasks.len() > 1 {
@@ -938,6 +999,7 @@ impl EvalContext {
                 let delta_store = Arc::clone(&delta_store);
                 let db = Arc::clone(&self.db);
                 let delta_db = Arc::clone(&delta_db);
+                let cache = Arc::clone(&self.batch_cache);
                 pool.execute(move || {
                     let mut out = TaskOutput::new(filter_known);
                     let (scripts, executors) = &*compiled;
@@ -949,6 +1011,7 @@ impl EvalContext {
                         &delta_store,
                         &db,
                         &delta_db,
+                        &cache,
                         &mut out,
                     );
                     // Release the shared snapshots before reporting, so the
@@ -959,6 +1022,7 @@ impl EvalContext {
                     drop(delta_store);
                     drop(db);
                     drop(delta_db);
+                    drop(cache);
                     let _ = tx.send(out);
                 });
             }
@@ -971,6 +1035,8 @@ impl EvalContext {
                 out.matches += part.matches;
                 out.batch_rows += part.batch_rows;
                 out.dict_filtered += part.dict_filtered;
+                out.simd_blocks += part.simd_blocks;
+                out.batch_reuse += part.batch_reuse;
             }
             assert_eq!(
                 received, expected,
@@ -986,6 +1052,7 @@ impl EvalContext {
                     &delta_store,
                     &self.db,
                     &delta_db,
+                    &self.batch_cache,
                     &mut out,
                 );
             }
@@ -994,6 +1061,8 @@ impl EvalContext {
         self.stats.matches += out.matches;
         self.stats.batch_probe_rows += out.batch_rows;
         self.stats.dict_filtered_probes += out.dict_filtered;
+        self.stats.simd_hash_blocks += out.simd_blocks;
+        self.stats.batch_reuse_hits += out.batch_reuse;
         out.derived
     }
 }
@@ -1074,7 +1143,7 @@ mod tests {
     #[test]
     fn specialized_matches_interpreter() {
         // One scan rule (with a repeated variable), one 2-atom join rule
-        // (kernel tier), one 3-atom rule (interpreter fallback), plus a
+        // (kernel tier), one 3-atom rule (pipeline tier), plus a
         // constant key that exercises the dictionary filter.
         let p = parse_program(
             "loop(X) :- a(X, X).\
@@ -1094,12 +1163,105 @@ mod tests {
         let mut interp = EvalContext::new(&p, edb.clone(), EvalOptions::interpreted());
         saturate(&mut interp, &rules);
         assert!(spec.stats().specialized_tasks > 0, "kernels actually ran");
+        assert!(
+            spec.stats().pipelined_tasks > 0,
+            "the 3-atom rule takes the pipeline tier"
+        );
+        assert!(
+            spec.stats().simd_hash_blocks > 0,
+            "batched key hashing actually ran"
+        );
         assert_eq!(interp.stats().specialized_tasks, 0, "reference stays pure");
+        assert_eq!(interp.stats().pipelined_tasks, 0);
         assert_eq!(spec.stats().matches, interp.stats().matches);
         assert_eq!(spec.stats().derivations, interp.stats().derivations);
         assert_eq!(spec.stats().probes, interp.stats().probes);
         assert_eq!(*spec.database(), *interp.database());
         // And the parallel kernel tier agrees too.
+        let mut par = EvalContext::new(&p, edb, EvalOptions::with_threads(4));
+        saturate(&mut par, &rules);
+        assert_eq!(par.stats().matches, interp.stats().matches);
+        assert_eq!(*par.database(), *interp.database());
+    }
+
+    /// Keys wider than the monomorphized tiers (K > 8) must lower to the
+    /// interpreter instead of panicking — this join projects a 9-column key.
+    #[test]
+    fn nine_column_keys_fall_back_gracefully() {
+        let p =
+            parse_program("j(X) :- p(A, B, C, D, E, F, G, H, I, X), q(A, B, C, D, E, F, G, H, I).")
+                .unwrap();
+        let mut facts = String::new();
+        for i in 0..12 {
+            facts.push_str(&format!(
+                "p({0}, {1}, {2}, {0}, {1}, {2}, {0}, {1}, {2}, {3}).",
+                i,
+                i + 1,
+                i + 2,
+                i * 10
+            ));
+            if i % 2 == 0 {
+                facts.push_str(&format!(
+                    "q({0}, {1}, {2}, {0}, {1}, {2}, {0}, {1}, {2}).",
+                    i,
+                    i + 1,
+                    i + 2
+                ));
+            }
+        }
+        let edb = parse_database(&facts).unwrap();
+        let mut spec = EvalContext::new(&p, edb.clone(), EvalOptions::sequential());
+        saturate(&mut spec, &[0]);
+        let mut interp = EvalContext::new(&p, edb, EvalOptions::interpreted());
+        saturate(&mut interp, &[0]);
+        // The wide key disqualifies specialization entirely, so both runs
+        // take the interpreter and agree on everything.
+        assert_eq!(spec.stats().specialized_tasks, 0, "9-wide key not tiered");
+        assert_eq!(spec.stats().matches, interp.stats().matches);
+        assert_eq!(spec.stats().derivations, interp.stats().derivations);
+        assert_eq!(*spec.database(), *interp.database());
+        for i in [0i64, 2, 4, 6, 8, 10] {
+            assert!(spec.database().contains(&datalog_ast::fact("j", [i * 10])));
+        }
+    }
+
+    /// Two delta rules sharing a (delta predicate, join shape) must hit the
+    /// cross-task gather cache, and reuse must not change the fixpoint.
+    #[test]
+    fn delta_batches_are_reused_across_tasks() {
+        // Both recursive rules are driven by the same delta atom g with the
+        // same join-key column, so the second task of each round replays
+        // the first's gathered key batch. A 3-atom rule gives the pipeline
+        // tier the same opportunity at stage 0.
+        let p = parse_program(
+            "g(X, Z) :- a(X, Z).\
+             g(X, Z) :- g(X, Y), a(Y, Z).\
+             h(X, Z) :- g(X, Y), b(Y, Z).\
+             t(X, W) :- g(X, Y), a(Y, Z), b(Z, W).\
+             u(X, W) :- g(X, Y), a(Y, Z), b(Z, W), a(W, W).",
+        )
+        .unwrap();
+        let mut facts = String::new();
+        for i in 0..40 {
+            facts.push_str(&format!("a({}, {}).", i, (i + 1) % 40));
+            facts.push_str(&format!("b({}, {}).", i, (i * 3 + 1) % 40));
+        }
+        let edb = parse_database(&facts).unwrap();
+        let rules: Vec<usize> = (0..p.rules.len()).collect();
+        let mut spec = EvalContext::new(&p, edb.clone(), EvalOptions::sequential());
+        saturate(&mut spec, &rules);
+        assert!(spec.stats().pipelined_tasks > 0, "3/4-atom rules pipelined");
+        assert!(
+            spec.stats().batch_reuse_hits > 0,
+            "same-shape delta gathers dedup across tasks: {:?}",
+            spec.stats()
+        );
+        let mut interp = EvalContext::new(&p, edb.clone(), EvalOptions::interpreted());
+        saturate(&mut interp, &rules);
+        assert_eq!(spec.stats().matches, interp.stats().matches);
+        assert_eq!(spec.stats().probes, interp.stats().probes);
+        assert_eq!(*spec.database(), *interp.database());
+        // Reuse is thread-invariant: parallel runs agree tuple-for-tuple.
         let mut par = EvalContext::new(&p, edb, EvalOptions::with_threads(4));
         saturate(&mut par, &rules);
         assert_eq!(par.stats().matches, interp.stats().matches);

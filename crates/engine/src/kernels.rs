@@ -13,38 +13,64 @@
 //!   gather → probe → verify → emit pipeline instead of per-row recursive
 //!   calls: outer rows are verified on their code columns and their inner
 //!   probe keys gathered (translated into the inner relation's code space)
-//!   a block at a time, then the block's postings lists are probed and
+//!   a block at a time, then the block's keys are hashed through the
+//!   lane-unrolled [`hash_codes_batch`] and the postings lists probed and
 //!   candidates verified code-by-code. The pipeline is monomorphized over
-//!   the inner key width (`K = 0..=4`), so the per-row key is a `[u32; K]`
+//!   the inner key width (`K = 0..=8`), so the per-row key is a `[u32; K]`
 //!   in registers and the gather/verify loops compile to straight-line
 //!   integer code per width.
 //!
-//! Everything else — negation anywhere, three or more body atoms, keys
-//! wider than [`MAX_KEY_WIDTH`] — stays on the interpreter
+//! * [`Executor::Pipeline`] — three or more positive atoms, run as a
+//!   **chain** of those batched probe stages: stage 0 enumerates and
+//!   verifies candidates, and each later stage gathers its probe keys from
+//!   the in-flight rows of the earlier stages, batch-hashes them, probes,
+//!   verifies, and appends matched row-ids to the next stage's block.
+//!   Blocks of [`BLOCK`] rows flow stage-to-stage as flat `u32` row-id
+//!   tuples — intermediate *tuples* are never materialized; only the final
+//!   stage reads the row arenas to build head tuples.
+//!
+//! Everything else — negation anywhere, keys wider than
+//! [`MAX_KEY_WIDTH`] — stays on the interpreter
 //! ([`Executor::Interpreted`]), which is also the differential reference:
 //! `EvalOptions::interpreted()` forces it everywhere, and the oracle
-//! fuzzer compares the two tiers on every generated case.
+//! fuzzer compares the tiers on every generated case. Width dispatch is
+//! total: a script that somehow reaches a kernel with an out-of-tier
+//! width returns `false` (debug-asserted) and the caller re-runs it on
+//! the interpreter instead of panicking.
 //!
 //! Cross-dictionary translation: codes are local to one (relation, column)
-//! dictionary, so an outer row's code is translated into the inner
+//! dictionary, so an outer row's code is translated into the probed
 //! column's space through a lazily filled per-task cache indexed by outer
-//! code ([`IKey::FromOuter`]). Steady state is one array read per key
-//! element; a constant or outer value absent from the inner dictionary
-//! kills the probe without touching any row (`dict_filtered`).
+//! code ([`IKey::FromOuter`] / [`PKey::From`]). Steady state is one array
+//! read per key element; a constant or outer value absent from the probed
+//! dictionary kills the probe without touching any row (`dict_filtered`).
 //!
-//! Both kernels emit through [`TaskOutput::emit_head`], the same leaf the
-//! interpreter uses, so `matches`/`derivations` accounting and the
-//! emitted tuple set are executor-invariant by construction.
+//! Delta-batch reuse: within one evaluation round, every delta-restricted
+//! task leads with the delta atom (see `run_round`'s seeded ordering), and
+//! bloated programs compile many rules to the *same* stage-0 shape. The
+//! first such task gathers, translates, and batch-hashes the delta side
+//! once and publishes the block into the round's [`BatchCache`]; the
+//! others replay it (`batch_reuse_hits`), including the gather-phase
+//! counter deltas, so all counters stay invariant to hit order and thread
+//! count. Entries are keyed on the (pred, positions, constants,
+//! delta-generation) gather shape and dropped when the next round begins.
+//!
+//! Every kernel emits through [`TaskOutput::emit_head`], the same leaf the
+//! interpreter uses, so `matches`/`derivations` accounting and the emitted
+//! tuple set are executor-invariant by construction.
 
 use crate::context::{step_source, IndexStore, JoinScript, KeySrc, Step, Task, TaskOutput};
-use datalog_ast::{hash_codes_fold, hash_codes_seed, Const, Database, Pred, Relation};
+use datalog_ast::{hash_codes_batch, hash_codes_seed, Const, Database, Pred, Relation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Outer rows gathered per block in the batched hash-join pipeline.
+/// Rows gathered per block in the batched pipelines.
 const BLOCK: usize = 1024;
 
-/// Widest inner probe key with a monomorphized pipeline; wider joins fall
-/// back to the interpreter.
-pub(crate) const MAX_KEY_WIDTH: usize = 4;
+/// Widest probe key with a monomorphized tier; wider joins fall back to
+/// the interpreter.
+pub(crate) const MAX_KEY_WIDTH: usize = 8;
 
 /// The executor a compiled script was lowered to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,18 +83,25 @@ pub(crate) enum Executor {
     /// Two positive atoms: batched hash join, monomorphized by `width`
     /// (the inner step's bound-position count).
     HashJoin { width: usize },
+    /// Three or more positive atoms: a chain of batched probe stages with
+    /// `BLOCK`-row blocks flowing stage-to-stage.
+    Pipeline { stages: usize },
 }
 
 impl Executor {
     pub(crate) fn is_specialized(&self) -> bool {
         !matches!(self, Executor::Interpreted)
     }
+
+    pub(crate) fn is_pipelined(&self) -> bool {
+        matches!(self, Executor::Pipeline { .. })
+    }
 }
 
 /// Deterministically select the executor for `script`. The decision
 /// depends only on the script shape, so the same rule always runs on the
 /// same tier within a round at every thread count.
-pub(crate) fn specialize(script: &JoinScript, enabled: bool) -> Executor {
+pub(crate) fn specialize(script: &JoinScript, enabled: bool, pipeline: bool) -> Executor {
     if !enabled {
         return Executor::Interpreted;
     }
@@ -79,11 +112,23 @@ pub(crate) fn specialize(script: &JoinScript, enabled: bool) -> Executor {
                 width: s1.positions.len(),
             }
         }
+        steps
+            if pipeline
+                && steps.len() >= 3
+                && steps.iter().all(|s| !s.negated)
+                && steps[1..]
+                    .iter()
+                    .all(|s| s.positions.len() <= MAX_KEY_WIDTH) =>
+        {
+            Executor::Pipeline {
+                stages: steps.len(),
+            }
+        }
         _ => Executor::Interpreted,
     }
 }
 
-/// Where one head tuple position comes from.
+/// Where one head tuple position comes from (scan / 2-atom recipes).
 enum HeadSrc {
     Const(Const),
     /// Tuple position of the first (outer) step's row.
@@ -124,7 +169,7 @@ fn const_key_codes(step: &Step, rel: &Relation) -> Option<(Vec<u32>, u64)> {
         };
         let code = rel.lookup_code(pos, c)?;
         codes.push(code);
-        hash = hash_codes_fold(hash, code);
+        hash = datalog_ast::hash_codes_fold(hash, code);
     }
     Some((codes, hash))
 }
@@ -191,6 +236,124 @@ pub(crate) fn run_scan(
 const XLATE_UNKNOWN: u64 = u64::MAX;
 const XLATE_ABSENT: u64 = u64::MAX - 1;
 
+// ---------------------------------------------------------------------------
+// Delta-batch reuse cache
+// ---------------------------------------------------------------------------
+
+/// One element of a cached gather's probe-key recipe, identifying *how* a
+/// key column is produced (not its per-row values).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum GatherKeyElem {
+    Const(Const),
+    /// Translated from the outer (delta) tuple position.
+    FromOuter(usize),
+}
+
+/// Structural identity of a delta-side gather: which delta relation is
+/// enumerated (with which constant key, repeated-variable checks, and
+/// shard slice), and which probed index the keys are translated for. Two
+/// tasks with equal keys gather bit-identical blocks, whatever rule they
+/// came from.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct BatchKey {
+    /// Delta generation the gathered blocks belong to (bumped every
+    /// round; stale entries are dropped wholesale at round start).
+    generation: u64,
+    opred: Pred,
+    oarity: usize,
+    opositions: Box<[usize]>,
+    okey: Vec<Const>,
+    ochecks: Vec<(usize, usize)>,
+    ipred: Pred,
+    iarity: usize,
+    ipositions: Box<[usize]>,
+    ikey: Vec<GatherKeyElem>,
+    offset: usize,
+    stride: usize,
+}
+
+fn batch_key(s0: &Step, s1: &Step, task: Task, generation: u64) -> BatchKey {
+    BatchKey {
+        generation,
+        opred: s0.pred,
+        oarity: s0.arity,
+        opositions: s0.positions.clone(),
+        okey: s0
+            .key
+            .iter()
+            .map(|k| match *k {
+                KeySrc::Const(c) => c,
+                KeySrc::Var(_) => unreachable!("depth-0 probe keys are constants"),
+            })
+            .collect(),
+        ochecks: s0.check_pairs(),
+        ipred: s1.pred,
+        iarity: s1.arity,
+        ipositions: s1.positions.clone(),
+        ikey: s1
+            .key
+            .iter()
+            .map(|k| match *k {
+                KeySrc::Const(c) => GatherKeyElem::Const(c),
+                KeySrc::Var(v) => GatherKeyElem::FromOuter(
+                    s0.bind_pos(v)
+                        .expect("stage-1 key variable bound by the delta step"),
+                ),
+            })
+            .collect(),
+        offset: task.offset,
+        stride: task.stride,
+    }
+}
+
+/// A gathered, translated, batch-hashed delta side, plus the gather-phase
+/// counter deltas it cost — replayed verbatim on every reuse so `probes`
+/// and `dict_filtered` stay invariant to which task gathered first.
+struct CachedGather {
+    oids: Vec<u32>,
+    /// Row-major translated key codes, `ipositions.len()` wide.
+    keys: Vec<u32>,
+    hashes: Vec<u64>,
+    probes: u64,
+    dict_filtered: u64,
+    simd_blocks: u64,
+}
+
+/// Per-round cache of gathered delta-side key blocks, shared by every
+/// task (and worker) of one [`crate::EvalContext`].
+#[derive(Default)]
+pub(crate) struct BatchCache {
+    generation: AtomicU64,
+    map: Mutex<HashMap<BatchKey, Arc<CachedGather>>>,
+}
+
+impl BatchCache {
+    /// Start a new evaluation round: bump the delta generation and drop
+    /// every entry (gathered blocks are valid for one round's delta only).
+    pub(crate) fn begin_round(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().clear();
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    fn lookup(&self, key: &BatchKey) -> Option<Arc<CachedGather>> {
+        self.map.lock().unwrap().get(key).cloned()
+    }
+
+    fn insert(&self, key: BatchKey, entry: Arc<CachedGather>) {
+        // First publisher wins; concurrent gatherers computed the same
+        // blocks anyway (the key fully determines them).
+        self.map.lock().unwrap().entry(key).or_insert(entry);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-atom hash join
+// ---------------------------------------------------------------------------
+
 /// One element of the inner probe key, in inner-code space.
 enum IKey {
     /// Constant, translated once per task.
@@ -211,20 +374,36 @@ enum Cands<'a> {
     All(usize),
 }
 
-/// One block of gathered outer rows awaiting their probes.
+/// One block of gathered outer rows awaiting their probes. Keys are
+/// row-major flat (`K` wide) so the whole block hashes through one
+/// [`hash_codes_batch`] call.
 struct Batch<const K: usize> {
     oids: Vec<u32>,
+    keys: Vec<u32>,
     hashes: Vec<u64>,
-    keys: Vec<[u32; K]>,
 }
 
 impl<const K: usize> Default for Batch<K> {
     fn default() -> Batch<K> {
         Batch {
             oids: Vec::with_capacity(BLOCK),
+            keys: Vec::with_capacity(BLOCK * K),
             hashes: Vec::with_capacity(BLOCK),
-            keys: Vec::with_capacity(BLOCK),
         }
+    }
+}
+
+/// Batch-hash one gathered block (identical to per-key `hash_codes`).
+fn hash_batch<const K: usize>(batch: &mut Batch<K>, out: &mut TaskOutput) {
+    batch.hashes.clear();
+    if batch.oids.is_empty() {
+        return;
+    }
+    if K == 0 {
+        batch.hashes.resize(batch.oids.len(), hash_codes_seed(0));
+    } else {
+        hash_codes_batch(&batch.keys, K, &mut batch.hashes);
+        out.simd_blocks += 1;
     }
 }
 
@@ -246,7 +425,9 @@ struct Join2<'a> {
     ikeys: Vec<IKey>,
 }
 
-/// Two positive atoms: batched gather → probe → verify → emit.
+/// Two positive atoms: batched gather → probe → verify → emit. Returns
+/// `false` (without running) if `width` has no monomorphized tier — the
+/// caller falls back to the interpreter.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_hash_join(
     script: &JoinScript,
@@ -256,21 +437,29 @@ pub(crate) fn run_hash_join(
     delta_store: &IndexStore,
     db: &Database,
     delta_db: &Database,
+    cache: &BatchCache,
     out: &mut TaskOutput,
-) {
+) -> bool {
+    if width > MAX_KEY_WIDTH {
+        debug_assert!(
+            false,
+            "key width {width} beyond the monomorphized tiers (specialize() lowers such scripts to the interpreter)"
+        );
+        return false;
+    }
     let (s0, s1) = (&script.steps[0], &script.steps[1]);
     out.probes += 1;
     let (osrc, orel) = step_source(s0, task, store, delta_store, db, delta_db);
     let Some(orel) = orel else {
-        return;
+        return true;
     };
     let (isrc, irel) = step_source(s1, task, store, delta_store, db, delta_db);
     let Some(irel) = irel else {
-        return;
+        return true;
     };
     let Some((okey, ohash)) = const_key_codes(s0, orel) else {
         out.dict_filtered += 1;
-        return;
+        return true;
     };
     let mut ikeys: Vec<IKey> = Vec::with_capacity(width);
     for (&q, src) in s1.positions.iter().zip(&s1.key) {
@@ -281,7 +470,7 @@ pub(crate) fn run_hash_join(
                     // The constant never appears in the inner column: the
                     // whole task is empty, answered from the dictionary.
                     out.dict_filtered += 1;
-                    return;
+                    return true;
                 }
             },
             KeySrc::Var(v) => {
@@ -311,6 +500,9 @@ pub(crate) fn run_hash_join(
         head: head_recipe(script, s0, Some(s1)),
         ikeys,
     };
+    // Delta-leading tasks gather a reusable block (see `BatchCache`).
+    let reuse =
+        (task.delta_atom == Some(s0.atom)).then(|| batch_key(s0, s1, task, cache.generation()));
     let cands = if s0.positions.is_empty() {
         Cands::All(orel.len())
     } else {
@@ -319,18 +511,59 @@ pub(crate) fn run_hash_join(
     // Monomorphize the pipeline over the key width: the per-row key is a
     // `[u32; K]` and the gather/verify loops unroll per width.
     match width {
-        0 => join.run::<0>(cands, task, out),
-        1 => join.run::<1>(cands, task, out),
-        2 => join.run::<2>(cands, task, out),
-        3 => join.run::<3>(cands, task, out),
-        4 => join.run::<4>(cands, task, out),
-        w => unreachable!("key width {w} beyond the monomorphized tiers"),
+        0 => join.run::<0>(cands, task, cache, reuse, out),
+        1 => join.run::<1>(cands, task, cache, reuse, out),
+        2 => join.run::<2>(cands, task, cache, reuse, out),
+        3 => join.run::<3>(cands, task, cache, reuse, out),
+        4 => join.run::<4>(cands, task, cache, reuse, out),
+        5 => join.run::<5>(cands, task, cache, reuse, out),
+        6 => join.run::<6>(cands, task, cache, reuse, out),
+        7 => join.run::<7>(cands, task, cache, reuse, out),
+        8 => join.run::<8>(cands, task, cache, reuse, out),
+        _ => unreachable!("checked against MAX_KEY_WIDTH above"),
     }
+    true
 }
 
 impl<'a> Join2<'a> {
-    fn run<const K: usize>(mut self, cands: Cands<'_>, task: Task, out: &mut TaskOutput) {
+    fn run<const K: usize>(
+        mut self,
+        cands: Cands<'_>,
+        task: Task,
+        cache: &BatchCache,
+        reuse: Option<BatchKey>,
+        out: &mut TaskOutput,
+    ) {
         debug_assert_eq!(self.ikeys.len(), K);
+        if let Some(key) = reuse {
+            if let Some(hit) = cache.lookup(&key) {
+                out.batch_reuse += 1;
+                out.probes += hit.probes;
+                out.dict_filtered += hit.dict_filtered;
+                out.simd_blocks += hit.simd_blocks;
+                self.probe_all::<K>(&hit.oids, &hit.keys, &hit.hashes, out);
+                return;
+            }
+            // Miss: gather + hash the whole delta side in one block and
+            // publish it, recording the gather-phase counter deltas so a
+            // replay is counter-identical.
+            let mark = (out.probes, out.dict_filtered, out.simd_blocks);
+            let mut batch: Batch<K> = Batch::default();
+            self.gather_all::<K>(cands, task, &mut batch, out);
+            hash_batch(&mut batch, out);
+            let entry = Arc::new(CachedGather {
+                probes: out.probes - mark.0,
+                dict_filtered: out.dict_filtered - mark.1,
+                simd_blocks: out.simd_blocks - mark.2,
+                oids: batch.oids,
+                keys: batch.keys,
+                hashes: batch.hashes,
+            });
+            self.probe_all::<K>(&entry.oids, &entry.keys, &entry.hashes, out);
+            cache.insert(key, entry);
+            return;
+        }
+        // Streaming path: gather, hash, and probe a block at a time.
         let mut batch: Batch<K> = Batch::default();
         let stride = task.stride.max(1);
         match cands {
@@ -354,9 +587,30 @@ impl<'a> Join2<'a> {
         self.flush(&mut batch, out);
     }
 
+    fn gather_all<const K: usize>(
+        &mut self,
+        cands: Cands<'_>,
+        task: Task,
+        batch: &mut Batch<K>,
+        out: &mut TaskOutput,
+    ) {
+        let stride = task.stride.max(1);
+        match cands {
+            Cands::Ids(ids) => {
+                for &oid in ids.iter().skip(task.offset).step_by(stride) {
+                    self.gather(oid, batch, out);
+                }
+            }
+            Cands::All(n) => {
+                for oid in (task.offset..n).step_by(stride) {
+                    self.gather(oid as u32, batch, out);
+                }
+            }
+        }
+    }
+
     /// Gather phase: verify the outer row on its code columns, translate
-    /// its inner probe key, fold the hash, and queue it for the probe
-    /// phase.
+    /// its inner probe key, and queue it for the probe phase.
     #[inline]
     fn gather<const K: usize>(&mut self, oid: u32, batch: &mut Batch<K>, out: &mut TaskOutput) {
         if !self
@@ -375,7 +629,6 @@ impl<'a> Join2<'a> {
         }
         out.probes += 1;
         let mut key = [0u32; K];
-        let mut h = hash_codes_seed(K);
         for (k, slot) in key.iter_mut().enumerate() {
             let code = match &mut self.ikeys[k] {
                 IKey::Code(code) => *code,
@@ -397,28 +650,38 @@ impl<'a> Join2<'a> {
                 }
             };
             *slot = code;
-            h = hash_codes_fold(h, code);
         }
         batch.oids.push(oid);
-        batch.hashes.push(h);
-        batch.keys.push(key);
+        batch.keys.extend_from_slice(&key);
     }
 
-    /// Probe + verify + emit phase over one gathered block.
+    /// Batch-hash + probe + verify + emit one gathered block.
     fn flush<const K: usize>(&self, batch: &mut Batch<K>, out: &mut TaskOutput) {
-        out.batch_rows += batch.oids.len() as u64;
-        for j in 0..batch.oids.len() {
-            let ids = self.isrc.probe(
-                self.s1.pred,
-                self.s1.arity,
-                &self.s1.positions,
-                batch.hashes[j],
-            );
+        hash_batch(batch, out);
+        self.probe_all::<K>(&batch.oids, &batch.keys, &batch.hashes, out);
+        batch.oids.clear();
+        batch.keys.clear();
+        batch.hashes.clear();
+    }
+
+    /// Probe + verify + emit phase over gathered (and hashed) rows.
+    fn probe_all<const K: usize>(
+        &self,
+        oids: &[u32],
+        keys: &[u32],
+        hashes: &[u64],
+        out: &mut TaskOutput,
+    ) {
+        out.batch_rows += oids.len() as u64;
+        for (j, &oid) in oids.iter().enumerate() {
+            let ids = self
+                .isrc
+                .probe(self.s1.pred, self.s1.arity, &self.s1.positions, hashes[j]);
             if ids.is_empty() {
                 continue;
             }
-            let key = &batch.keys[j];
-            let ot = self.orel.row(batch.oids[j]);
+            let key = &keys[j * K..(j + 1) * K];
+            let ot = self.orel.row(oid);
             for &iid in ids {
                 if !(0..K).all(|k| self.icols[k][iid as usize] == key[k]) {
                     continue;
@@ -438,8 +701,493 @@ impl<'a> Join2<'a> {
                 out.emit_head(self.head_pred, self.db);
             }
         }
-        batch.oids.clear();
-        batch.hashes.clear();
-        batch.keys.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-atom pipeline
+// ---------------------------------------------------------------------------
+
+/// One element of a pipeline stage's probe key, in that stage's code
+/// space.
+enum PKey<'a> {
+    /// Constant, translated once per task.
+    Code(u32),
+    /// Bound by an earlier stage: read the outer code from `col` (stage
+    /// `src`'s code column at `pos`), translate into probed column
+    /// `ipos`'s space through a lazily filled cache indexed by outer
+    /// code.
+    From {
+        col: &'a [u32],
+        src: usize,
+        pos: usize,
+        ipos: usize,
+        xlate: Vec<u64>,
+    },
+}
+
+/// Where one head tuple position comes from (pipeline recipe).
+#[derive(Clone, Copy)]
+enum PHead {
+    Const(Const),
+    At { stage: usize, pos: usize },
+}
+
+/// Per-stage verify/gather recipes (taken in and out around recursion to
+/// satisfy disjoint borrows).
+#[derive(Default)]
+struct StageSpec<'a> {
+    /// Probe-key element sources (stages ≥ 1; empty for stage 0).
+    keys: Vec<PKey<'a>>,
+    /// Code columns at the step's bound positions (candidate verify).
+    cols: Vec<&'a [u32]>,
+    checks: Vec<(usize, usize)>,
+}
+
+/// Per-stage scratch buffers so blocks re-flow without reallocating.
+#[derive(Default)]
+struct Scratch {
+    kept: Vec<u32>,
+    keys: Vec<u32>,
+    hashes: Vec<u64>,
+    next: Vec<u32>,
+}
+
+struct Pipeline<'a> {
+    head_pred: Pred,
+    db: &'a Database,
+    steps: Vec<&'a Step>,
+    rels: Vec<&'a Relation>,
+    srcs: Vec<&'a IndexStore>,
+    stages: Vec<StageSpec<'a>>,
+    scratch: Vec<Scratch>,
+    head: Vec<PHead>,
+}
+
+/// Three or more positive atoms: a chain of batched probe stages. In-flight
+/// rows are flat row-id tuples (`k` ids at stage `k`), flowing in
+/// [`BLOCK`]-row blocks; only the final stage materializes head tuples.
+/// Returns `false` (without running) if some stage width has no tier — the
+/// caller falls back to the interpreter.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline(
+    script: &JoinScript,
+    task: Task,
+    store: &IndexStore,
+    delta_store: &IndexStore,
+    db: &Database,
+    delta_db: &Database,
+    cache: &BatchCache,
+    out: &mut TaskOutput,
+) -> bool {
+    let steps: Vec<&Step> = script.steps.iter().collect();
+    let n = steps.len();
+    if n < 2
+        || steps.iter().any(|s| s.negated)
+        || steps[1..].iter().any(|s| s.positions.len() > MAX_KEY_WIDTH)
+    {
+        debug_assert!(
+            false,
+            "pipeline over a shape specialize() lowers to the interpreter"
+        );
+        return false;
+    }
+    out.probes += 1;
+    let mut rels = Vec::with_capacity(n);
+    let mut srcs = Vec::with_capacity(n);
+    for step in &steps {
+        let (src, rel) = step_source(step, task, store, delta_store, db, delta_db);
+        let Some(rel) = rel else {
+            return true; // no rows at this predicate/arity — the join is empty
+        };
+        rels.push(rel);
+        srcs.push(src);
+    }
+    let Some((okey, ohash)) = const_key_codes(steps[0], rels[0]) else {
+        out.dict_filtered += 1;
+        return true;
+    };
+    let mut stages: Vec<StageSpec<'_>> = Vec::with_capacity(n);
+    stages.push(StageSpec {
+        keys: Vec::new(),
+        cols: steps[0]
+            .positions
+            .iter()
+            .map(|&p| rels[0].codes(p))
+            .collect(),
+        checks: steps[0].check_pairs(),
+    });
+    for k in 1..n {
+        let mut keys = Vec::with_capacity(steps[k].positions.len());
+        for (&q, src) in steps[k].positions.iter().zip(&steps[k].key) {
+            match *src {
+                KeySrc::Const(c) => match rels[k].lookup_code(q, c) {
+                    Some(code) => keys.push(PKey::Code(code)),
+                    None => {
+                        // The constant never appears in the probed column:
+                        // the whole task is empty, answered from the
+                        // dictionary.
+                        out.dict_filtered += 1;
+                        return true;
+                    }
+                },
+                KeySrc::Var(v) => {
+                    let (j, p) = (0..k)
+                        .find_map(|j| steps[j].bind_pos(v).map(|p| (j, p)))
+                        .expect("stage key variable bound by an earlier stage");
+                    keys.push(PKey::From {
+                        col: rels[j].codes(p),
+                        src: j,
+                        pos: p,
+                        ipos: q,
+                        xlate: vec![XLATE_UNKNOWN; rels[j].dict_len(p)],
+                    });
+                }
+            }
+        }
+        stages.push(StageSpec {
+            keys,
+            cols: steps[k]
+                .positions
+                .iter()
+                .map(|&q| rels[k].codes(q))
+                .collect(),
+            checks: steps[k].check_pairs(),
+        });
+    }
+    let head = script
+        .head
+        .iter()
+        .map(|src| match *src {
+            KeySrc::Const(c) => PHead::Const(c),
+            KeySrc::Var(v) => {
+                let (stage, pos) = (0..n)
+                    .find_map(|j| steps[j].bind_pos(v).map(|p| (j, p)))
+                    .expect("head variable bound by a body step (range restriction)");
+                PHead::At { stage, pos }
+            }
+        })
+        .collect();
+    let cands = if steps[0].positions.is_empty() {
+        Cands::All(rels[0].len())
+    } else {
+        Cands::Ids(srcs[0].probe(steps[0].pred, steps[0].arity, &steps[0].positions, ohash))
+    };
+    let reuse = (task.delta_atom == Some(steps[0].atom))
+        .then(|| batch_key(steps[0], steps[1], task, cache.generation()));
+    let mut pipe = Pipeline {
+        head_pred: script.head_pred,
+        db,
+        steps,
+        rels,
+        srcs,
+        stages,
+        scratch: (0..n).map(|_| Scratch::default()).collect(),
+        head,
+    };
+    pipe.run(cands, &okey, task, cache, reuse, out);
+    true
+}
+
+impl<'a> Pipeline<'a> {
+    fn run(
+        &mut self,
+        cands: Cands<'_>,
+        okey: &[u32],
+        task: Task,
+        cache: &BatchCache,
+        reuse: Option<BatchKey>,
+        out: &mut TaskOutput,
+    ) {
+        if let Some(key) = reuse {
+            if let Some(hit) = cache.lookup(&key) {
+                out.batch_reuse += 1;
+                out.probes += hit.probes;
+                out.dict_filtered += hit.dict_filtered;
+                out.simd_blocks += hit.simd_blocks;
+                self.probe_stage(1, &hit.oids, &hit.keys, &hit.hashes, out);
+                return;
+            }
+            // Miss: enumerate + gather + hash the whole delta side once,
+            // publish it with its gather-phase counter deltas.
+            let mark = (out.probes, out.dict_filtered, out.simd_blocks);
+            let mut all = std::mem::take(&mut self.scratch[0].next);
+            all.clear();
+            self.enumerate0(cands, okey, task, &mut all, usize::MAX, out);
+            let (mut kept, mut keys, mut hashes) = (Vec::new(), Vec::new(), Vec::new());
+            self.gather_stage(1, &all, &mut kept, &mut keys, &mut hashes, out);
+            let entry = Arc::new(CachedGather {
+                probes: out.probes - mark.0,
+                dict_filtered: out.dict_filtered - mark.1,
+                simd_blocks: out.simd_blocks - mark.2,
+                oids: kept,
+                keys,
+                hashes,
+            });
+            self.probe_stage(1, &entry.oids, &entry.keys, &entry.hashes, out);
+            cache.insert(key, entry);
+            self.scratch[0].next = all;
+            return;
+        }
+        // Streaming path: stage 0 feeds BLOCK-row id blocks into stage 1.
+        let mut block = std::mem::take(&mut self.scratch[0].next);
+        block.clear();
+        self.enumerate0(cands, okey, task, &mut block, BLOCK, out);
+        if !block.is_empty() {
+            self.advance(1, &block, out);
+            block.clear();
+        }
+        self.scratch[0].next = block;
+    }
+
+    /// Stage 0: enumerate candidates (honouring the task's shard slice),
+    /// verify the constant key and repeated variables, and push survivors
+    /// into `block`, flushing into stage 1 whenever it reaches `flush_at`.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate0(
+        &mut self,
+        cands: Cands<'_>,
+        okey: &[u32],
+        task: Task,
+        block: &mut Vec<u32>,
+        flush_at: usize,
+        out: &mut TaskOutput,
+    ) {
+        let stage0 = std::mem::take(&mut self.stages[0]);
+        let rel0 = self.rels[0];
+        let stride = task.stride.max(1);
+        match cands {
+            Cands::Ids(ids) => {
+                for &oid in ids.iter().skip(task.offset).step_by(stride) {
+                    if verify_row(&stage0, rel0, okey, oid) {
+                        block.push(oid);
+                        if block.len() >= flush_at {
+                            self.advance(1, block, out);
+                            block.clear();
+                        }
+                    }
+                }
+            }
+            Cands::All(nrows) => {
+                for oid in (task.offset..nrows).step_by(stride) {
+                    let oid = oid as u32;
+                    if verify_row(&stage0, rel0, okey, oid) {
+                        block.push(oid);
+                        if block.len() >= flush_at {
+                            self.advance(1, block, out);
+                            block.clear();
+                        }
+                    }
+                }
+            }
+        }
+        self.stages[0] = stage0;
+    }
+
+    /// Gather + batch-hash stage `k`'s probe keys for `in_rows` (flat,
+    /// stride `k`); surviving rows land in `kept` with their translated
+    /// keys and hashes.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_stage(
+        &mut self,
+        k: usize,
+        in_rows: &[u32],
+        kept: &mut Vec<u32>,
+        keys: &mut Vec<u32>,
+        hashes: &mut Vec<u64>,
+        out: &mut TaskOutput,
+    ) {
+        let mut stage = std::mem::take(&mut self.stages[k]);
+        let rel_k = self.rels[k];
+        let w = stage.keys.len();
+        'rows: for row in in_rows.chunks_exact(k) {
+            out.probes += 1;
+            let base = keys.len();
+            for e in &mut stage.keys {
+                let code = match e {
+                    PKey::Code(c) => *c,
+                    PKey::From {
+                        col,
+                        src,
+                        pos,
+                        ipos,
+                        xlate,
+                    } => {
+                        let ocode = col[row[*src] as usize];
+                        let mut t = xlate[ocode as usize];
+                        if t == XLATE_UNKNOWN {
+                            t = match rel_k.lookup_code(*ipos, self.rels[*src].decode(*pos, ocode))
+                            {
+                                Some(ic) => ic as u64,
+                                None => XLATE_ABSENT,
+                            };
+                            xlate[ocode as usize] = t;
+                        }
+                        if t == XLATE_ABSENT {
+                            out.dict_filtered += 1;
+                            keys.truncate(base);
+                            continue 'rows;
+                        }
+                        t as u32
+                    }
+                };
+                keys.push(code);
+            }
+            kept.extend_from_slice(row);
+        }
+        self.stages[k] = stage;
+        if w == 0 {
+            hashes.resize(kept.len() / k, hash_codes_seed(0));
+        } else if !kept.is_empty() {
+            hash_codes_batch(keys, w, hashes);
+            out.simd_blocks += 1;
+        }
+    }
+
+    /// One full stage over an input block: gather → hash → probe.
+    fn advance(&mut self, k: usize, in_rows: &[u32], out: &mut TaskOutput) {
+        let mut sc = std::mem::take(&mut self.scratch[k]);
+        sc.kept.clear();
+        sc.keys.clear();
+        sc.hashes.clear();
+        self.gather_stage(k, in_rows, &mut sc.kept, &mut sc.keys, &mut sc.hashes, out);
+        self.probe_stage(k, &sc.kept, &sc.keys, &sc.hashes, out);
+        self.scratch[k] = sc;
+    }
+
+    /// Probe + verify gathered rows against stage `k`'s index; matches
+    /// either extend the next stage's block or (at the last stage) emit
+    /// head tuples.
+    fn probe_stage(
+        &mut self,
+        k: usize,
+        in_rows: &[u32],
+        keys: &[u32],
+        hashes: &[u64],
+        out: &mut TaskOutput,
+    ) {
+        let n = in_rows.len() / k;
+        out.batch_rows += n as u64;
+        let step = self.steps[k];
+        let src = self.srcs[k];
+        let rel = self.rels[k];
+        let w = step.positions.len();
+        let stage = std::mem::take(&mut self.stages[k]);
+        let mut next = std::mem::take(&mut self.scratch[k].next);
+        next.clear();
+        let last = k + 1 == self.steps.len();
+        for i in 0..n {
+            let row = &in_rows[i * k..(i + 1) * k];
+            let ids = src.probe(step.pred, step.arity, &step.positions, hashes[i]);
+            if ids.is_empty() {
+                continue;
+            }
+            let key = &keys[i * w..(i + 1) * w];
+            for &iid in ids {
+                if !stage
+                    .cols
+                    .iter()
+                    .zip(key)
+                    .all(|(col, &kc)| col[iid as usize] == kc)
+                {
+                    continue;
+                }
+                if !stage.checks.is_empty() {
+                    let t = rel.row(iid);
+                    if !stage.checks.iter().all(|&(p, q)| t[p] == t[q]) {
+                        continue;
+                    }
+                }
+                if last {
+                    out.head_buf.clear();
+                    for h in &self.head {
+                        out.head_buf.push(match *h {
+                            PHead::Const(c) => c,
+                            PHead::At { stage: s, pos } => {
+                                let id = if s == k { iid } else { row[s] };
+                                self.rels[s].row(id)[pos]
+                            }
+                        });
+                    }
+                    out.emit_head(self.head_pred, self.db);
+                } else {
+                    next.extend_from_slice(row);
+                    next.push(iid);
+                    if next.len() == (k + 1) * BLOCK {
+                        self.advance(k + 1, &next, out);
+                        next.clear();
+                    }
+                }
+            }
+        }
+        if !last && !next.is_empty() {
+            self.advance(k + 1, &next, out);
+            next.clear();
+        }
+        self.stages[k] = stage;
+        self.scratch[k].next = next;
+    }
+}
+
+/// Verify one candidate row against a constant key (code columns) and the
+/// step's repeated-variable checks.
+#[inline]
+fn verify_row(stage: &StageSpec<'_>, rel: &Relation, okey: &[u32], oid: u32) -> bool {
+    if !stage
+        .cols
+        .iter()
+        .zip(okey)
+        .all(|(col, &kc)| col[oid as usize] == kc)
+    {
+        return false;
+    }
+    if !stage.checks.is_empty() {
+        let t = rel.row(oid);
+        if !stage.checks.iter().all(|&(p, q)| t[p] == t[q]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::compile_script;
+    use crate::plan::RulePlan;
+    use datalog_ast::parse_program;
+
+    fn script_for(src: &str) -> JoinScript {
+        let p = parse_program(src).unwrap();
+        let plan = RulePlan::compile(&p.rules[0]);
+        let order: Vec<usize> = (0..plan.body.len()).collect();
+        compile_script(&plan, &order)
+    }
+
+    #[test]
+    fn specialize_picks_the_widest_tiers() {
+        let k8 = script_for("h(A) :- p(A,B,C,D,E,F,G,H), q(A,B,C,D,E,F,G,H).");
+        assert_eq!(k8.steps[1].positions.len(), 8);
+        assert_eq!(specialize(&k8, true, true), Executor::HashJoin { width: 8 });
+        let three = script_for("t(X, W) :- e(X, Y), m(Y, Z), f(Z, W).");
+        assert_eq!(
+            specialize(&three, true, true),
+            Executor::Pipeline { stages: 3 }
+        );
+        assert_eq!(specialize(&three, true, false), Executor::Interpreted);
+        assert_eq!(specialize(&three, false, true), Executor::Interpreted);
+    }
+
+    /// A 9-column key is beyond the widest monomorphized tier: the script
+    /// must lower to the interpreter instead of panicking in dispatch.
+    #[test]
+    fn wide_keys_fall_back_to_the_interpreter() {
+        let wide = script_for("h(A) :- p(A,B,C,D,E,F,G,H,I), q(A,B,C,D,E,F,G,H,I).");
+        assert_eq!(wide.steps[1].positions.len(), 9);
+        assert_eq!(specialize(&wide, true, true), Executor::Interpreted);
+        // And a wide *pipeline* stage falls back the same way.
+        let wide3 =
+            script_for("h(A) :- p(A,B,C,D,E,F,G,H,I), q(A,B,C,D,E,F,G,H,I), r(A,B,C,D,E,F,G,H,I).");
+        assert_eq!(specialize(&wide3, true, true), Executor::Interpreted);
     }
 }

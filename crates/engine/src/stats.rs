@@ -41,6 +41,17 @@ pub struct Stats {
     /// Outer rows pushed through the batched gather → probe → verify →
     /// emit hash-join pipeline.
     pub batch_probe_rows: u64,
+    /// Join work items that ran on the multi-atom pipelined kernel (3+
+    /// positive atoms flowing stage-to-stage in blocks) — a subset of
+    /// `specialized_tasks`.
+    pub pipelined_tasks: u64,
+    /// Pipelined delta tasks whose gathered stage-0→1 key blocks were
+    /// served from the per-round delta-batch cache instead of re-gathering
+    /// and re-hashing.
+    pub batch_reuse_hits: u64,
+    /// Key blocks hashed through the lane-unrolled
+    /// [`datalog_ast::hash_codes_batch`] path (one per flushed block).
+    pub simd_hash_blocks: u64,
     /// Probe keys answered from a column dictionary alone: some key
     /// constant (or translated outer value) has no code in the target
     /// column, so the join step matched nothing without touching a row.
@@ -87,6 +98,9 @@ impl AddAssign for Stats {
         self.parallel_tasks += rhs.parallel_tasks;
         self.specialized_tasks += rhs.specialized_tasks;
         self.batch_probe_rows += rhs.batch_probe_rows;
+        self.pipelined_tasks += rhs.pipelined_tasks;
+        self.batch_reuse_hits += rhs.batch_reuse_hits;
+        self.simd_hash_blocks += rhs.simd_hash_blocks;
         self.dict_filtered_probes += rhs.dict_filtered_probes;
         self.tuples_allocated += rhs.tuples_allocated;
         self.arena_bytes += rhs.arena_bytes;
@@ -116,6 +130,9 @@ impl Sub for Stats {
             parallel_tasks: self.parallel_tasks.saturating_sub(rhs.parallel_tasks),
             specialized_tasks: self.specialized_tasks.saturating_sub(rhs.specialized_tasks),
             batch_probe_rows: self.batch_probe_rows.saturating_sub(rhs.batch_probe_rows),
+            pipelined_tasks: self.pipelined_tasks.saturating_sub(rhs.pipelined_tasks),
+            batch_reuse_hits: self.batch_reuse_hits.saturating_sub(rhs.batch_reuse_hits),
+            simd_hash_blocks: self.simd_hash_blocks.saturating_sub(rhs.simd_hash_blocks),
             dict_filtered_probes: self
                 .dict_filtered_probes
                 .saturating_sub(rhs.dict_filtered_probes),
@@ -168,7 +185,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={} specialized_tasks={} batch_probe_rows={} dict_filtered_probes={} tuples_allocated={} arena_bytes={}",
+            "iterations={} probes={} matches={} derivations={} index_builds={} index_appends={} parallel_tasks={} specialized_tasks={} batch_probe_rows={} pipelined_tasks={} batch_reuse_hits={} simd_hash_blocks={} dict_filtered_probes={} tuples_allocated={} arena_bytes={}",
             self.iterations,
             self.probes,
             self.matches,
@@ -178,6 +195,9 @@ impl fmt::Display for Stats {
             self.parallel_tasks,
             self.specialized_tasks,
             self.batch_probe_rows,
+            self.pipelined_tasks,
+            self.batch_reuse_hits,
+            self.simd_hash_blocks,
             self.dict_filtered_probes,
             self.tuples_allocated,
             self.arena_bytes
@@ -220,6 +240,9 @@ mod tests {
             parallel_tasks: 4,
             specialized_tasks: 3,
             batch_probe_rows: 100,
+            pipelined_tasks: 2,
+            batch_reuse_hits: 5,
+            simd_hash_blocks: 11,
             dict_filtered_probes: 9,
             tuples_allocated: 20,
             arena_bytes: 320,
@@ -241,6 +264,9 @@ mod tests {
             parallel_tasks: 1,
             specialized_tasks: 1,
             batch_probe_rows: 1,
+            pipelined_tasks: 1,
+            batch_reuse_hits: 1,
+            simd_hash_blocks: 1,
             dict_filtered_probes: 1,
             tuples_allocated: 2,
             arena_bytes: 32,
@@ -264,6 +290,9 @@ mod tests {
                 parallel_tasks: 5,
                 specialized_tasks: 4,
                 batch_probe_rows: 101,
+                pipelined_tasks: 3,
+                batch_reuse_hits: 6,
+                simd_hash_blocks: 12,
                 dict_filtered_probes: 10,
                 tuples_allocated: 22,
                 arena_bytes: 352,
@@ -290,6 +319,9 @@ mod tests {
             parallel_tasks: 5,
             specialized_tasks: 4,
             batch_probe_rows: 101,
+            pipelined_tasks: 9,
+            batch_reuse_hits: 7,
+            simd_hash_blocks: 15,
             dict_filtered_probes: 10,
             tuples_allocated: 22,
             arena_bytes: 352,
@@ -306,6 +338,9 @@ mod tests {
             parallel_tasks: 4,
             specialized_tasks: 1,
             batch_probe_rows: 100,
+            pipelined_tasks: 4,
+            batch_reuse_hits: 2,
+            simd_hash_blocks: 5,
             dict_filtered_probes: 4,
             tuples_allocated: 20,
             arena_bytes: 320,
@@ -318,6 +353,9 @@ mod tests {
         assert_eq!(d.arena_bytes, 32);
         assert_eq!(d.specialized_tasks, 3);
         assert_eq!(d.batch_probe_rows, 1);
+        assert_eq!(d.pipelined_tasks, 5);
+        assert_eq!(d.batch_reuse_hits, 5);
+        assert_eq!(d.simd_hash_blocks, 10);
         assert_eq!(d.dict_filtered_probes, 6);
         assert_eq!(d.iterations, 2);
         assert_eq!(d.probes, 1);
@@ -339,7 +377,7 @@ mod tests {
         };
         assert_eq!(
             s.to_string(),
-            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0 specialized_tasks=0 batch_probe_rows=0 dict_filtered_probes=0 tuples_allocated=0 arena_bytes=0"
+            "iterations=2 probes=7 matches=4 derivations=3 index_builds=0 index_appends=0 parallel_tasks=0 specialized_tasks=0 batch_probe_rows=0 pipelined_tasks=0 batch_reuse_hits=0 simd_hash_blocks=0 dict_filtered_probes=0 tuples_allocated=0 arena_bytes=0"
         );
     }
 

@@ -53,15 +53,17 @@ pub enum Family {
     Incremental,
     QueryCache,
     ConcurrentService,
+    Metamorphic,
 }
 
 impl Family {
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Engines,
         Family::Optimization,
         Family::Incremental,
         Family::QueryCache,
         Family::ConcurrentService,
+        Family::Metamorphic,
     ];
 
     pub fn name(self) -> &'static str {
@@ -71,6 +73,7 @@ impl Family {
             Family::Incremental => "incremental",
             Family::QueryCache => "query-cache",
             Family::ConcurrentService => "concurrent-service",
+            Family::Metamorphic => "metamorphic",
         }
     }
 
@@ -81,6 +84,7 @@ impl Family {
             "incremental" => Some(Family::Incremental),
             "query-cache" => Some(Family::QueryCache),
             "concurrent-service" => Some(Family::ConcurrentService),
+            "metamorphic" => Some(Family::Metamorphic),
             _ => None,
         }
     }
@@ -117,6 +121,7 @@ pub fn check(case: &Case) -> Vec<Divergence> {
         Family::Incremental => check_incremental(case),
         Family::QueryCache => check_query_cache(case),
         Family::ConcurrentService => check_concurrent_service(case),
+        Family::Metamorphic => check_metamorphic(case),
     }
 }
 
@@ -196,6 +201,12 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
             // for the specialized columnar kernels: every case exercises
             // both sides of the executor split.
             ("stratified-interpreted".into(), EvalOptions::interpreted()),
+            // Pipeline tier off while 2-atom kernels stay on: isolates the
+            // multi-atom pipelined executor under negation.
+            (
+                "stratified-interpreted-3atom".into(),
+                EvalOptions::sequential().with_pipeline(false),
+            ),
         ];
         for (name, opts) in variants {
             match stratified::evaluate_with_opts(program, db, opts) {
@@ -254,6 +265,16 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
         EvalOptions::with_threads(2).with_specialize(false),
     );
     engines.push(("interpreted-parallel-2".into(), got));
+    // The executor split within the specialized tier: 3+-atom bodies take
+    // the pipelined multi-atom kernel by default; forcing them back to the
+    // interpreter (while 2-atom kernels stay specialized) isolates the
+    // pipeline. A second full-pipeline run double-checks that the
+    // cross-task batch cache is deterministic.
+    let (got, _) = seminaive::evaluate_with_opts(program, db, EvalOptions::sequential());
+    engines.push(("specialized-3atom".into(), got));
+    let (got, _) =
+        seminaive::evaluate_with_opts(program, db, EvalOptions::sequential().with_pipeline(false));
+    engines.push(("interpreted-3atom".into(), got));
     for (name, got) in engines {
         if got != reference {
             out.push(Divergence {
@@ -283,6 +304,101 @@ fn check_engines(case: &Case) -> Vec<Divergence> {
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+/// Pattern-filter the `answer_pred` tuples of an evaluated magic program
+/// back into the query's own predicate (consistently binding repeated
+/// variables), mirroring what [`magic::answer`] serves.
+fn magic_answers(full: &Database, answer_pred: Pred, query: &Atom) -> Database {
+    let mut out = Database::new();
+    for tuple in full.relation(answer_pred) {
+        let g = GroundAtom {
+            pred: query.pred,
+            tuple: tuple.into(),
+        };
+        if match_atom(query, &g).is_some() {
+            out.insert(g);
+        }
+    }
+    out
+}
+
+/// The metamorphic chain (ROADMAP item 4): optimizations and query
+/// transformations compose, so chaining them must not change any answer.
+/// For each query the chain is minimize → magic-sets transform → parallel
+/// evaluation (2 workers, pipelined kernels) of the transformed program →
+/// minimize the transformed program again and re-evaluate sequentially.
+/// Every hop's answer must equal the pattern-filtered fixpoint of the
+/// untouched program on the untouched database.
+fn check_metamorphic(case: &Case) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let program = &case.program;
+    if !program.is_positive() {
+        return out;
+    }
+    let db = &case.db;
+    let reference = seminaive::evaluate(program, db);
+    let diverge = |kind: &str, query: &Atom, expected: &Database, got: &Database| Divergence {
+        family: Family::Metamorphic,
+        kind: format!("meta:{kind}"),
+        message: format!(
+            "{kind} answer for `{query}` disagrees with the plain filtered fixpoint: {}",
+            diff_sample(expected, got)
+        ),
+    };
+
+    // Hop 1: minimize the source program (uniform equivalence preserves
+    // every fixpoint, so every downstream answer must survive).
+    let minimized = match minimize_program(program) {
+        Ok((min, _)) => min,
+        Err(e) => {
+            out.push(Divergence {
+                family: Family::Metamorphic,
+                kind: "meta:minimize".into(),
+                message: format!("minimize_program failed on a valid program: {e}"),
+            });
+            return out;
+        }
+    };
+
+    for query in &case.queries {
+        let expected = filtered_fixpoint(&reference, query);
+
+        // Hop 2: magic-sets transform of the *minimized* program.
+        let magic = magic::magic_transform(&minimized, query);
+        let mut input = db.clone();
+        input.insert(magic.seed.clone());
+
+        // Hop 3: evaluate the transformed program in parallel (2 workers),
+        // exercising the pipelined kernels on the guarded multi-atom magic
+        // rules under task slicing.
+        let (full, _) =
+            seminaive::evaluate_with_opts(&magic.program, &input, EvalOptions::with_threads(2));
+        let got = magic_answers(&full, magic.answer_pred, query);
+        if got != expected {
+            out.push(diverge("minimize-magic-parallel", query, &expected, &got));
+            continue;
+        }
+
+        // Hop 4: minimize the magic program itself and evaluate again —
+        // the transform's output is an ordinary positive program, so the
+        // optimizer must be able to digest its own downstream.
+        match minimize_program(&magic.program) {
+            Ok((again, _)) => {
+                let full = seminaive::evaluate(&again, &input);
+                let got = magic_answers(&full, magic.answer_pred, query);
+                if got != expected {
+                    out.push(diverge("minimize-again", query, &expected, &got));
+                }
+            }
+            Err(e) => out.push(Divergence {
+                family: Family::Metamorphic,
+                kind: "meta:minimize-again".into(),
+                message: format!("minimize_program failed on a magic-transformed program: {e}"),
+            }),
         }
     }
     out

@@ -102,7 +102,7 @@ pub fn generate(seed: u64, family: Family) -> Case {
     let db = pick_db(&mut rng, &program);
     let wants_queries = matches!(
         family,
-        Family::Engines | Family::QueryCache | Family::ConcurrentService
+        Family::Engines | Family::QueryCache | Family::ConcurrentService | Family::Metamorphic
     );
     let queries = if wants_queries && program.is_positive() {
         pick_queries(&mut rng, &program, &db)

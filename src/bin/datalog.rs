@@ -21,7 +21,7 @@
 //!                  [--shards N] [--max-bytes N] [--timeout-ms N] [--max-conns N]
 //! datalog client   <addr> [request-json]...            send protocol requests (stdin if none)
 //! datalog fuzz     [--seed N] [--cases N] [--budget-ms N]   differential oracle fuzzing
-//!                  [--oracle all|engines|optimization|incremental|query-cache|concurrent-service]
+//!                  [--oracle all|engines|optimization|incremental|query-cache|concurrent-service|metamorphic]
 //!                  [--format text|json] [--repro-dir DIR] [--smoke]
 //! ```
 //!
@@ -713,7 +713,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
             "all" => Family::ALL.to_vec(),
             name => vec![Family::parse(name).ok_or_else(|| {
                 format!(
-                    "--oracle: `{name}` is not all|engines|optimization|incremental|query-cache|concurrent-service"
+                    "--oracle: `{name}` is not all|engines|optimization|incremental|query-cache|concurrent-service|metamorphic"
                 )
             })?],
         };
